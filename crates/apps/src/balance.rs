@@ -1,0 +1,283 @@
+//! CPU+GPU work-stealing load balancing for HotSpot (paper §V-E, Figs. 10–11).
+//!
+//! The out-of-core pipeline stays as in [`crate::hotspot`]: chunks stream
+//! from the SSD into main memory. At the leaf, instead of one GPU kernel
+//! per chunk, the chunk's rows of blocks become tasks in per-consumer
+//! queues (Fig. 10): each GPU workgroup and each CPU thread owns a queue;
+//! a consumer pops from its own tail and a GPU workgroup steals from the
+//! head of a CPU queue when it runs dry. The simulation is the
+//! deterministic DES in `northup_sim::workers`; the *real* concurrent
+//! counterpart of the same protocol (Chase–Lev deques on real threads) is
+//! exercised by `northup-exec` and the `load_balancing` example.
+//!
+//! The queue count affects GPU throughput through the latency-hiding curve
+//! ("multiple workgroups per SIMD engine is needed to fully utilize GPU
+//! hardware and hide latency" — 32 queues is best in the paper).
+
+use northup_kernels::latency_hiding_efficiency;
+use northup_sim::{
+    deal_round_robin, simulate_stealing, Resource, SimDur, SimTime, SimWorker, StealOutcome,
+};
+use serde::{Deserialize, Serialize};
+
+/// Throughput calibration for the balanced leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeafRates {
+    /// Total GPU stencil throughput at full occupancy, cells/s.
+    pub gpu_cells_per_sec: f64,
+    /// Total CPU (all threads) stencil throughput, cells/s.
+    pub cpu_cells_per_sec: f64,
+}
+
+impl Default for LeafRates {
+    /// APU-class rates: the GPU sustains ~1.5 G cells/s on the memory-bound
+    /// stencil (18 GB/s shared DRAM / 12 B per cell); the 4 CPU threads
+    /// together reach about a sixth of that on the row-block leaf tasks
+    /// (the full-application 8x GPU speedup the paper quotes includes
+    /// launch and staging costs the leaf tasks do not pay).
+    fn default() -> Self {
+        LeafRates {
+            gpu_cells_per_sec: 1.5e9,
+            cpu_cells_per_sec: 0.25e9,
+        }
+    }
+}
+
+/// One Fig. 11 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalanceConfig {
+    /// Input grid dimension in SSD (the paper's `m`).
+    pub m: usize,
+    /// Chunk dimension loaded into main memory (the paper's `n`).
+    pub chunk: usize,
+    /// Number of GPU workgroup queues (8 / 16 / 32 in the paper).
+    pub gpu_queues: usize,
+    /// Number of CPU thread queues.
+    pub cpu_threads: usize,
+    /// Row-block height (each task processes a `16 x chunk` row of blocks).
+    pub block_rows: usize,
+    /// Time steps each task advances (the temporal-blocking depth of the
+    /// out-of-core pass; see `calibration::HOTSPOT_STEPS_PER_PASS`).
+    pub steps: usize,
+    /// Whether CPU threads participate and GPU workgroups steal.
+    pub stealing: bool,
+    /// Leaf throughput calibration.
+    pub rates: LeafRates,
+    /// SSD read bandwidth for chunk staging, bytes/s.
+    pub ssd_read_bw: f64,
+}
+
+impl BalanceConfig {
+    /// The paper's three input points `(m, n)` with a given queue count.
+    pub fn paper_points(gpu_queues: usize, stealing: bool) -> Vec<BalanceConfig> {
+        [(16_384, 2_048), (16_384, 4_096), (32_768, 4_096)]
+            .into_iter()
+            .map(|(m, chunk)| BalanceConfig {
+                m,
+                chunk,
+                gpu_queues,
+                cpu_threads: 4,
+                block_rows: 16,
+                steps: crate::calibration::HOTSPOT_STEPS_PER_PASS,
+                stealing,
+                rates: LeafRates::default(),
+                ssd_read_bw: 1.4e9,
+            })
+            .collect()
+    }
+
+    /// Number of chunks streamed from the SSD.
+    pub fn chunks(&self) -> usize {
+        let per_side = self.m / self.chunk;
+        per_side * per_side
+    }
+
+    /// Leaf tasks per chunk (rows of blocks).
+    pub fn tasks_per_chunk(&self) -> usize {
+        self.chunk / self.block_rows
+    }
+}
+
+/// Result of one balanced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceRun {
+    /// Total runtime (staging + balanced leaf compute, pipelined).
+    pub makespan: SimDur,
+    /// Total successful steals across all chunks.
+    pub steals: u64,
+    /// Sum of leaf compute makespans (per-chunk DES results).
+    pub leaf_time: SimDur,
+}
+
+/// Simulate the leaf of one chunk: deal the rows of blocks round-robin
+/// across the consumer queues and run the stealing DES.
+pub fn simulate_chunk_leaf(cfg: &BalanceConfig) -> StealOutcome {
+    let eff = latency_hiding_efficiency(cfg.gpu_queues);
+    let gpu_rate = cfg.rates.gpu_cells_per_sec * eff / cfg.gpu_queues as f64;
+    let cpu_rate = cfg.rates.cpu_cells_per_sec / cfg.cpu_threads.max(1) as f64;
+
+    let mut workers: Vec<SimWorker> = Vec::new();
+    // GPU workgroups first; CPU threads after (if participating). An idle
+    // GPU workgroup steals from the head of any other queue — most
+    // profitably a CPU queue, which the richest-victim rule targets because
+    // slow CPU consumers drain their queues last (§V-E: "GPU workgroup may
+    // steal elements pointed by the head pointer of another CPU queue").
+    let total = if cfg.stealing {
+        cfg.gpu_queues + cfg.cpu_threads
+    } else {
+        cfg.gpu_queues
+    };
+    for i in 0..cfg.gpu_queues {
+        let victims: Vec<usize> = if cfg.stealing {
+            (0..total).filter(|&v| v != i).collect()
+        } else {
+            Vec::new()
+        };
+        workers.push(SimWorker::new(format!("gpu-wg-{i}"), gpu_rate, victims));
+    }
+    if cfg.stealing {
+        for i in 0..cfg.cpu_threads {
+            workers.push(SimWorker::new(format!("cpu-{i}"), cpu_rate, Vec::new()));
+        }
+    }
+
+    let task_cells = (cfg.block_rows * cfg.chunk * cfg.steps) as f64;
+    let tasks = vec![task_cells; cfg.tasks_per_chunk()];
+    let queues = deal_round_robin(&tasks, workers.len());
+    simulate_stealing(&workers, queues)
+}
+
+/// Full run: chunks stream from the SSD and their leaf phases execute in a
+/// simple load/compute pipeline.
+pub fn run_balanced(cfg: &BalanceConfig) -> BalanceRun {
+    let leaf = simulate_chunk_leaf(cfg);
+    let chunk_bytes = (cfg.chunk * cfg.chunk * 4) as u64;
+    let mut ssd = Resource::new("ssd", cfg.ssd_read_bw, SimDur::ZERO);
+    let mut leaf_res = Resource::new_compute("leaf");
+    let mut end = SimTime::ZERO;
+    for _ in 0..cfg.chunks() {
+        let load = ssd.serve_bytes(SimTime::ZERO, chunk_bytes);
+        let compute = leaf_res.serve_for(load.end, leaf.makespan);
+        end = end.max(compute.end);
+    }
+    BalanceRun {
+        makespan: end.since(SimTime::ZERO),
+        steals: leaf.steals * cfg.chunks() as u64,
+        leaf_time: leaf.makespan * cfg.chunks() as u64,
+    }
+}
+
+/// The Fig. 11 series: for one input point, the speedup of CPU+GPU work
+/// stealing over GPU-only Northup execution at the same GPU queue count
+/// (the paper's normalization; "up to 24%" improvement, 32 queues best in
+/// absolute terms).
+pub fn fig11_speedup(m: usize, chunk: usize, gpu_queues: usize) -> f64 {
+    let base_cfg = BalanceConfig {
+        gpu_queues,
+        stealing: false,
+        ..BalanceConfig::paper_points(gpu_queues, false)
+            .into_iter()
+            .find(|c| c.m == m && c.chunk == chunk)
+            .expect("known input point")
+    };
+    let steal_cfg = BalanceConfig {
+        stealing: true,
+        ..base_cfg
+    };
+    let base = run_balanced(&base_cfg);
+    let steal = run_balanced(&steal_cfg);
+    base.makespan.as_secs_f64() / steal.makespan.as_secs_f64()
+}
+
+/// Absolute makespan of the work-stealing configuration (used to show that
+/// 32 queues gives the best absolute performance).
+pub fn fig11_absolute(m: usize, chunk: usize, gpu_queues: usize) -> SimDur {
+    let cfg = BalanceConfig {
+        gpu_queues,
+        stealing: true,
+        ..BalanceConfig::paper_points(gpu_queues, true)
+            .into_iter()
+            .find(|c| c.m == m && c.chunk == chunk)
+            .expect("known input point")
+    };
+    run_balanced(&cfg).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(q: usize, stealing: bool) -> BalanceConfig {
+        BalanceConfig {
+            gpu_queues: q,
+            stealing,
+            ..BalanceConfig::paper_points(q, stealing)[0]
+        }
+    }
+
+    #[test]
+    fn chunk_and_task_counts() {
+        let c = point(32, true);
+        assert_eq!(c.chunks(), 64); // (16384/2048)^2
+        assert_eq!(c.tasks_per_chunk(), 128); // 2048/16
+    }
+
+    #[test]
+    fn stealing_improves_every_queue_count() {
+        for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+            for q in [8usize, 16, 32] {
+                let s = fig11_speedup(m, n, q);
+                // Paper: improvements up to ~24%. In our deterministic
+                // model the gain concentrates at low queue counts, where
+                // GPU workgroups run fast relative to CPU threads and
+                // stealing fires; at q=32 per-consumer rates nearly match
+                // and the gain shrinks toward zero (documented deviation
+                // in EXPERIMENTS.md).
+                assert!((0.98..1.30).contains(&s), "({m},{n}) q={q}: got {s}");
+                if q == 8 {
+                    assert!(s > 1.15, "low queue counts show the big gains: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thirty_two_queues_is_best_in_absolute_terms() {
+        for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+            let t8 = fig11_absolute(m, n, 8);
+            let t16 = fig11_absolute(m, n, 16);
+            let t32 = fig11_absolute(m, n, 32);
+            assert!(t32 < t16 && t16 < t8, "({m},{n}): {t8} {t16} {t32}");
+        }
+    }
+
+    #[test]
+    fn steals_happen_and_every_task_runs() {
+        let out = simulate_chunk_leaf(&point(8, true));
+        assert_eq!(out.tasks as usize, point(8, true).tasks_per_chunk());
+        assert!(out.steals > 0, "GPU workgroups steal when queues run dry");
+    }
+
+    #[test]
+    fn no_stealing_means_no_steals() {
+        let out = simulate_chunk_leaf(&point(32, false));
+        assert_eq!(out.steals, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_balanced(&point(16, true));
+        let b = run_balanced(&point(16, true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cpu_contribution_is_bounded_by_rates() {
+        // At full GPU occupancy (q=32) the speedup can't exceed
+        // 1 + cpu/gpu throughput ratio (plus a small stealing-tail margin).
+        let s = fig11_speedup(32_768, 4_096, 32);
+        let r = LeafRates::default();
+        let bound = 1.0 + r.cpu_cells_per_sec / r.gpu_cells_per_sec + 0.05;
+        assert!(s < bound, "{s} vs bound {bound}");
+    }
+}

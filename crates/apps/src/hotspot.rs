@@ -1,0 +1,715 @@
+//! Out-of-core HotSpot-2D thermal simulation on Northup (paper §IV-B, Fig. 4).
+//!
+//! The grid lives on storage; each pass processes `block x block` tiles.
+//! A tile is loaded *with its borders* — the paper packs the non-contiguous
+//! east/west borders into compact vectors; we generalize the border width to
+//! the temporal-blocking depth `steps_per_pass` and move the whole halo
+//! rectangle with a strided transfer (row-granular I/O, one charged op).
+//! The leaf kernel advances `steps_per_pass` time steps per load (trapezoid
+//! temporal blocking, exact — see `northup_kernels::stencil`), then the core
+//! region is written to the output file. Input and output files ping-pong
+//! across passes.
+
+use crate::calibration::{model_for, HOTSPOT_STEPS_PER_PASS};
+use crate::report::AppRun;
+use northup::{BufferHandle, ExecMode, ProcKind, Result, Runtime, Tree};
+use northup_kernels::{
+    bytes_to_f32s, f32s_to_bytes, multi_step_reference, step_halo_block, DenseMatrix, HaloBlock,
+    HotSpotParams,
+};
+
+/// Configuration of one HotSpot scenario.
+#[derive(Debug, Clone)]
+pub struct HotspotConfig {
+    /// Grid dimension (square).
+    pub n: usize,
+    /// DRAM blocking (the paper's 8k x 8k).
+    pub block: usize,
+    /// Time steps advanced per out-of-core pass (= halo width).
+    pub steps_per_pass: usize,
+    /// Number of out-of-core passes.
+    pub passes: usize,
+    /// Staging ring depth.
+    pub ring: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl HotspotConfig {
+    /// Paper-scale 16k grid, 8k blocking (§IV-B / §V-A).
+    pub fn paper() -> Self {
+        HotspotConfig {
+            n: crate::calibration::paper::HOTSPOT_N,
+            block: crate::calibration::paper::HOTSPOT_BLOCK,
+            steps_per_pass: HOTSPOT_STEPS_PER_PASS,
+            passes: 1,
+            ring: 2,
+            seed: 3,
+        }
+    }
+
+    /// Plan the blocking automatically from the tree's capacities
+    /// (paper §III-B). On the paper's APU tree at a 16k grid with 64-step
+    /// temporal blocking this reproduces the hand-tuned 8k x 8k blocking.
+    pub fn auto(
+        tree: &Tree,
+        n: usize,
+        steps_per_pass: usize,
+        passes: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        assert!(n.is_power_of_two(), "auto planning expects power-of-two n");
+        let ring = 2;
+        let plan = northup::plan_blocks(
+            tree,
+            &northup::pow2_candidates(16, n),
+            northup::DEFAULT_HEADROOM,
+            staging_footprint(steps_per_pass, ring),
+        )?;
+        Ok(HotspotConfig {
+            n,
+            block: plan.staging_block().min(n),
+            steps_per_pass,
+            passes,
+            ring,
+            seed,
+        })
+    }
+
+    /// Laptop-scale grid for Real-mode verification.
+    pub fn small() -> Self {
+        HotspotConfig {
+            n: 48,
+            block: 16,
+            steps_per_pass: 3,
+            passes: 2,
+            ring: 2,
+            seed: 3,
+        }
+    }
+
+    /// Total simulated time steps.
+    pub fn total_steps(&self) -> usize {
+        self.steps_per_pass * self.passes
+    }
+
+    fn tiles(&self) -> usize {
+        assert!(
+            self.block > 0 && self.n % self.block == 0,
+            "block {} must divide n {}",
+            self.block,
+            self.n
+        );
+        self.n / self.block
+    }
+}
+
+/// Staging working set of this module's schedule, for the auto-planner:
+/// `ring` (temperature + power) halo regions plus `ring` output cores.
+pub fn staging_footprint(halo: usize, ring: usize) -> impl Fn(usize, usize) -> u64 {
+    move |_level, b| {
+        let region = ((b + 2 * halo) * (b + 2 * halo) * 4) as u64;
+        let core = (b * b * 4) as u64;
+        ring as u64 * (2 * region + core)
+    }
+}
+
+fn inputs(cfg: &HotspotConfig) -> (DenseMatrix, DenseMatrix) {
+    let temp = DenseMatrix::from_fn(cfg.n, cfg.n, |r, c| {
+        80.0 + ((r.wrapping_mul(31) ^ c.wrapping_mul(17) ^ cfg.seed as usize) % 23) as f32
+    });
+    let power = DenseMatrix::from_fn(cfg.n, cfg.n, |r, c| ((r + c) % 5) as f32 * 0.2);
+    (temp, power)
+}
+
+/// In-memory baseline: grid resident, one GPU timeline for all steps.
+pub fn hotspot_in_memory(cfg: &HotspotConfig, mode: ExecMode) -> Result<AppRun> {
+    let tree = northup::presets::in_memory();
+    let rt = Runtime::new(tree, mode)?;
+    let root = rt.root_ctx();
+    let n2 = (cfg.n * cfg.n) as u64;
+    let temp = root.alloc(n2 * 4)?;
+    let power = root.alloc(n2 * 4)?;
+    let out = root.alloc(n2 * 4)?;
+
+    let gpu = root
+        .procs()
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("in-memory preset has a GPU");
+    let dur = model_for(&gpu.name).stencil_time(n2, cfg.total_steps() as u64);
+    root.compute(ProcKind::Gpu, dur, &[temp, power], &[out], "hotspot full")?;
+
+    let mut checksum = None;
+    let mut verified = None;
+    if mode == ExecMode::Real {
+        let (tm, pm) = inputs(cfg);
+        rt.write_slice(temp, 0, &f32s_to_bytes(&tm.data))?;
+        rt.write_slice(power, 0, &f32s_to_bytes(&pm.data))?;
+        let prm = HotSpotParams::default();
+        let result = multi_step_reference(&tm, &pm, cfg.total_steps(), &prm);
+        rt.write_slice(out, 0, &f32s_to_bytes(&result.data))?;
+        checksum = Some(result.checksum());
+        verified = Some(true); // by construction (this IS the oracle)
+    }
+
+    Ok(AppRun {
+        name: "hotspot/in-memory".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Out-of-core Northup HotSpot over a chain topology.
+pub fn hotspot_northup(cfg: &HotspotConfig, tree: Tree, mode: ExecMode) -> Result<AppRun> {
+    let rt = Runtime::new(tree, mode)?;
+    hotspot_northup_on(&rt, cfg)
+}
+
+/// Like [`hotspot_northup`], on a caller-provided runtime.
+pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
+    let mode = rt.mode();
+    let n = cfg.n;
+    let halo = cfg.steps_per_pass;
+    let tiles = cfg.tiles();
+    let row_bytes = (n * 4) as u64;
+
+    let root = rt.tree().root();
+    let n2b = (n * n * 4) as u64;
+    // Ping-pong temperature files + the power file.
+    let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
+    let p_file = rt.alloc(n2b, root)?;
+
+    let (t_mat, p_mat) = if mode == ExecMode::Real {
+        let (tm, pm) = inputs(cfg);
+        rt.write_slice(t_files[0], 0, &f32s_to_bytes(&tm.data))?;
+        rt.write_slice(p_file, 0, &f32s_to_bytes(&pm.data))?;
+        (Some(tm), Some(pm))
+    } else {
+        (None, None)
+    };
+
+    let stage_node = *rt.tree().children(root).first().expect("staging level");
+    let max_region = ((cfg.block + 2 * halo) * (cfg.block + 2 * halo) * 4) as u64;
+    let core_bytes = (cfg.block * cfg.block * 4) as u64;
+    // Prefetching tile t+1 while tile t computes requires at least two
+    // staging slots (real-byte safety as well as pipelining).
+    let ring = cfg.ring.max(2);
+    let in_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(max_region, stage_node))
+        .collect::<Result<_>>()?;
+    let pw_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(max_region, stage_node))
+        .collect::<Result<_>>()?;
+    let out_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(core_bytes, stage_node))
+        .collect::<Result<_>>()?;
+
+    // Deeper chain for discrete-GPU / exascale trees: the halo region moves
+    // on to the leaf and the core result comes back through the staging
+    // level (one buffer set per level; the PCIe link pipelines fine).
+    let mut chain: Vec<northup::NodeId> = Vec::new();
+    {
+        let mut cur = stage_node;
+        while let Some(&c) = rt.tree().children(cur).first() {
+            chain.push(c);
+            cur = c;
+        }
+    }
+    let deep: Vec<[BufferHandle; 3]> = chain
+        .iter()
+        .map(|&node| {
+            Ok([
+                rt.alloc(max_region, node)?,
+                rt.alloc(max_region, node)?,
+                rt.alloc(core_bytes, node)?,
+            ])
+        })
+        .collect::<Result<_>>()?;
+    let leaf_node = chain.last().copied().unwrap_or(stage_node);
+    let gpu = rt
+        .tree()
+        .node(leaf_node)
+        .procs
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("compute leaf has a GPU");
+    let gpu_model = model_for(&gpu.name);
+    let prm = HotSpotParams::default();
+
+    // Geometry of one tile's clipped halo rectangle.
+    let geom = |bi: usize, bj: usize| {
+        let (r0, c0) = (bi * cfg.block, bj * cfg.block);
+        let north = halo.min(r0);
+        let west = halo.min(c0);
+        let south = halo.min(n - (r0 + cfg.block));
+        let east = halo.min(n - (c0 + cfg.block));
+        let rr0 = r0 - north;
+        let cc0 = c0 - west;
+        let hh = cfg.block + north + south;
+        let ww = cfg.block + west + east;
+        ((r0, c0), [north, south, west, east], (rr0, cc0), (hh, ww))
+    };
+
+    for pass in 0..cfg.passes {
+        let input = t_files[pass % 2];
+        let output = t_files[(pass + 1) % 2];
+        // Issue tile t+1's loads before tile t's compute and write-back
+        // (multi-stage transfer queues, §III-C) — within the pass only,
+        // because the next pass reads this pass's output file.
+        let load_tile = |t: usize| -> Result<()> {
+            let (bi, bj) = (t / tiles, t % tiles);
+            let r = t % ring;
+            let (_, _, (rr0, cc0), (hh, ww)) = geom(bi, bj);
+            let region_row = (ww * 4) as u64;
+            let src_off = (rr0 * n + cc0) as u64 * 4;
+            rt.move_data_strided(
+                in_stage[r], 0, region_row, input, src_off, row_bytes, region_row, hh as u64,
+            )?;
+            rt.move_data_strided(
+                pw_stage[r], 0, region_row, p_file, src_off, row_bytes, region_row, hh as u64,
+            )?;
+            Ok(())
+        };
+        let tile_count = tiles * tiles;
+        load_tile(0)?;
+        for t in 0..tile_count {
+            let (bi, bj) = (t / tiles, t % tiles);
+            if t + 1 < tile_count {
+                load_tile(t + 1)?;
+            }
+            {
+                let r = t % ring;
+                let ((r0, c0), [north, south, west, east], _, (hh, ww)) = geom(bi, bj);
+
+                // Push the region down the deeper chain (if any).
+                let region_bytes = (hh * ww * 4) as u64;
+                let (mut in_c, mut pw_c, mut out_c) =
+                    (in_stage[r], pw_stage[r], out_stage[r]);
+                for bufs in &deep {
+                    rt.move_data(bufs[0], 0, in_c, 0, region_bytes)?;
+                    rt.move_data(bufs[1], 0, pw_c, 0, region_bytes)?;
+                    in_c = bufs[0];
+                    pw_c = bufs[1];
+                    out_c = bufs[2];
+                }
+
+                // Leaf kernel: steps_per_pass trapezoid steps.
+                let dur = gpu_model
+                    .stencil_time((hh * ww) as u64, cfg.steps_per_pass as u64);
+                rt.charge_compute(
+                    leaf_node,
+                    ProcKind::Gpu,
+                    dur,
+                    &[in_c, pw_c],
+                    &[out_c],
+                    &format!("hotspot tile ({bi},{bj}) pass {pass}"),
+                )?;
+
+                if mode == ExecMode::Real {
+                    let mut tb = vec![0u8; hh * ww * 4];
+                    let mut pb = vec![0u8; hh * ww * 4];
+                    rt.read_slice(in_c, 0, &mut tb)?;
+                    rt.read_slice(pw_c, 0, &mut pb)?;
+                    let hb = HaloBlock {
+                        temp: DenseMatrix {
+                            rows: hh,
+                            cols: ww,
+                            data: bytes_to_f32s(&tb),
+                        },
+                        power: DenseMatrix {
+                            rows: hh,
+                            cols: ww,
+                            data: bytes_to_f32s(&pb),
+                        },
+                        halo: [north, south, west, east],
+                        core_origin: (r0, c0),
+                        core_size: (cfg.block, cfg.block),
+                    };
+                    let core = step_halo_block(&hb, cfg.steps_per_pass, &prm);
+                    rt.write_slice(out_c, 0, &f32s_to_bytes(&core.data))?;
+                }
+
+                // Pull the core back up the chain into the staging buffer.
+                let mut cur_out = out_c;
+                for bufs in deep.iter().rev().skip(1) {
+                    rt.move_data(bufs[2], 0, cur_out, 0, core_bytes)?;
+                    cur_out = bufs[2];
+                }
+                if !deep.is_empty() {
+                    rt.move_data(out_stage[r], 0, cur_out, 0, core_bytes)?;
+                }
+
+                // Write the core back to the output file.
+                let dst_off = (r0 * n + c0) as u64 * 4;
+                rt.move_data_strided(
+                    output,
+                    dst_off,
+                    row_bytes,
+                    out_stage[r],
+                    0,
+                    (cfg.block * 4) as u64,
+                    (cfg.block * 4) as u64,
+                    cfg.block as u64,
+                )?;
+            }
+        }
+    }
+
+    let mut checksum = None;
+    let mut verified = None;
+    if let (Some(tm), Some(pm)) = (&t_mat, &p_mat) {
+        let final_file = t_files[cfg.passes % 2];
+        let mut bytes = vec![0u8; n2b as usize];
+        rt.read_slice(final_file, 0, &mut bytes)?;
+        let got = DenseMatrix {
+            rows: n,
+            cols: n,
+            data: bytes_to_f32s(&bytes),
+        };
+        let oracle = multi_step_reference(tm, pm, cfg.total_steps(), &HotSpotParams::default());
+        checksum = Some(got.checksum());
+        verified = Some(oracle.max_abs_diff(&got) < 1e-3);
+    }
+
+    Ok(AppRun {
+        name: "hotspot/northup".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Fraction of each chunk's rows to place on the GPU when splitting a leaf
+/// across both APU devices (§III-E: "work can be spread across devices in a
+/// data-parallel fashion"). The optimum equals the GPU's share of combined
+/// throughput.
+pub fn optimal_gpu_fraction() -> f64 {
+    let gpu = model_for("apu-gpu");
+    let cpu = model_for("apu-cpu");
+    // Memory-bound stencil: throughput ~ mem_bw.
+    gpu.mem_bw / (gpu.mem_bw + cpu.mem_bw)
+}
+
+/// Out-of-core HotSpot with each chunk's rows split between the APU's GPU
+/// and CPU (`gpu_fraction` of the rows to the GPU). Both devices compute
+/// concurrently in virtual time (separate processor resources); Real mode
+/// executes both halves and verifies the merged result exactly.
+pub fn hotspot_split_leaf(
+    cfg: &HotspotConfig,
+    gpu_fraction: f64,
+    storage: northup_hw::DeviceSpec,
+    mode: ExecMode,
+) -> Result<AppRun> {
+    assert!((0.0..=1.0).contains(&gpu_fraction));
+    let tree = northup::presets::apu_two_level(storage);
+    let rt = Runtime::new(tree, mode)?;
+    let n = cfg.n;
+    let halo = cfg.steps_per_pass;
+    
+
+    let root = rt.tree().root();
+    let n2b = (n * n * 4) as u64;
+    let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
+    let p_file = rt.alloc(n2b, root)?;
+
+    let (t_mat, p_mat) = if mode == ExecMode::Real {
+        let (tm, pm) = inputs(cfg);
+        rt.write_slice(t_files[0], 0, &f32s_to_bytes(&tm.data))?;
+        rt.write_slice(p_file, 0, &f32s_to_bytes(&pm.data))?;
+        (Some(tm), Some(pm))
+    } else {
+        (None, None)
+    };
+
+    let stage_node = *rt.tree().children(root).first().expect("staging level");
+    let gpu_model = model_for("apu-gpu");
+    let cpu_model = model_for("apu-cpu");
+    let prm = HotSpotParams::default();
+
+    // One chunk = a horizontal band of the grid (simplest split geometry);
+    // the band is loaded with its halo, then its rows are divided between
+    // the devices, each computing a trapezoid over its own sub-band (the
+    // split line behaves like an internal halo boundary, so each side needs
+    // `halo` extra rows from the other — both read the same staged block).
+    assert!(
+        n % cfg.block == 0,
+        "block {} must divide n {}",
+        cfg.block,
+        cfg.n
+    );
+    let bands = n / cfg.block;
+    let gpu_rows = ((cfg.block as f64 * gpu_fraction).round() as usize).min(cfg.block);
+    let cpu_rows = cfg.block - gpu_rows;
+    let max_region = ((cfg.block + 2 * halo) * n * 4) as u64;
+    let in_stage = [rt.alloc(max_region, stage_node)?, rt.alloc(max_region, stage_node)?];
+    let pw_stage = [rt.alloc(max_region, stage_node)?, rt.alloc(max_region, stage_node)?];
+    // Each device writes its own half of the band: sharing one output
+    // buffer would serialize the devices on a write-after-write hazard.
+    let alloc_out = |rows: usize| rt.alloc((rows.max(1) * n * 4) as u64, stage_node);
+    let out_gpu = [alloc_out(gpu_rows)?, alloc_out(gpu_rows)?];
+    let out_cpu = [alloc_out(cpu_rows)?, alloc_out(cpu_rows)?];
+
+    for pass in 0..cfg.passes {
+        let input = t_files[pass % 2];
+        let output = t_files[(pass + 1) % 2];
+        for b in 0..bands {
+            let r = b % 2;
+            let r0 = b * cfg.block;
+            let north = halo.min(r0);
+            let south = halo.min(n - (r0 + cfg.block));
+            let rr0 = r0 - north;
+            let hh = cfg.block + north + south;
+            let region = (hh * n * 4) as u64;
+            rt.move_data(in_stage[r], 0, input, (rr0 * n * 4) as u64, region)?;
+            rt.move_data(pw_stage[r], 0, p_file, (rr0 * n * 4) as u64, region)?;
+
+            // Device split: top `gpu_rows` of the band to the GPU, rest
+            // CPU, concurrently (separate output buffers, shared inputs).
+            let cells = |rows: usize| (rows * n) as u64;
+            if gpu_rows > 0 {
+                let dur = gpu_model.stencil_time(cells(gpu_rows + 2 * halo), cfg.steps_per_pass as u64);
+                rt.charge_compute(
+                    stage_node,
+                    ProcKind::Gpu,
+                    dur,
+                    &[in_stage[r], pw_stage[r]],
+                    &[out_gpu[r]],
+                    &format!("band {b} gpu part"),
+                )?;
+            }
+            if cpu_rows > 0 {
+                let dur = cpu_model.stencil_time(cells(cpu_rows + 2 * halo), cfg.steps_per_pass as u64);
+                rt.charge_compute(
+                    stage_node,
+                    ProcKind::Cpu,
+                    dur,
+                    &[in_stage[r], pw_stage[r]],
+                    &[out_cpu[r]],
+                    &format!("band {b} cpu part"),
+                )?;
+            }
+
+            if mode == ExecMode::Real {
+                // Real compute: both device halves produced from the same
+                // staged halo block via the exact trapezoid kernel.
+                let mut tb = vec![0u8; region as usize];
+                let mut pb = vec![0u8; region as usize];
+                rt.read_slice(in_stage[r], 0, &mut tb)?;
+                rt.read_slice(pw_stage[r], 0, &mut pb)?;
+                let temp = DenseMatrix {
+                    rows: hh,
+                    cols: n,
+                    data: bytes_to_f32s(&tb),
+                };
+                let power = DenseMatrix {
+                    rows: hh,
+                    cols: n,
+                    data: bytes_to_f32s(&pb),
+                };
+                for (dev_r0, dev_rows, buf) in
+                    [(0usize, gpu_rows, out_gpu[r]), (gpu_rows, cpu_rows, out_cpu[r])]
+                {
+                    if dev_rows == 0 {
+                        continue;
+                    }
+                    // Sub-band with its own clipped halo inside the staged block.
+                    let abs0 = r0 + dev_r0; // global first row of this part
+                    let top = halo.min(abs0);
+                    let bot = halo.min(n - (abs0 + dev_rows));
+                    let local0 = (abs0 - top) - rr0;
+                    let lh = dev_rows + top + bot;
+                    let hb = HaloBlock {
+                        temp: temp.extract_block(local0, 0, lh, n),
+                        power: power.extract_block(local0, 0, lh, n),
+                        halo: [top, bot, 0, 0],
+                        core_origin: (abs0, 0),
+                        core_size: (dev_rows, n),
+                    };
+                    let core = step_halo_block(&hb, cfg.steps_per_pass, &prm);
+                    rt.write_slice(buf, 0, &f32s_to_bytes(&core.data))?;
+                }
+            }
+
+            if gpu_rows > 0 {
+                rt.move_data(output, (r0 * n * 4) as u64, out_gpu[r], 0, (gpu_rows * n * 4) as u64)?;
+            }
+            if cpu_rows > 0 {
+                rt.move_data(
+                    output,
+                    ((r0 + gpu_rows) * n * 4) as u64,
+                    out_cpu[r],
+                    0,
+                    (cpu_rows * n * 4) as u64,
+                )?;
+            }
+        }
+    }
+
+    let mut checksum = None;
+    let mut verified = None;
+    if let (Some(tm), Some(pm)) = (&t_mat, &p_mat) {
+        let final_file = t_files[cfg.passes % 2];
+        let mut bytes = vec![0u8; n2b as usize];
+        rt.read_slice(final_file, 0, &mut bytes)?;
+        let got = DenseMatrix {
+            rows: n,
+            cols: n,
+            data: bytes_to_f32s(&bytes),
+        };
+        let oracle = multi_step_reference(tm, pm, cfg.total_steps(), &HotSpotParams::default());
+        checksum = Some(got.checksum());
+        verified = Some(oracle.max_abs_diff(&got) < 1e-3);
+    }
+
+    Ok(AppRun {
+        name: format!("hotspot/split-{gpu_fraction:.2}"),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Run the Northup HotSpot over the 2-level APU preset.
+pub fn hotspot_apu(
+    cfg: &HotspotConfig,
+    storage: northup_hw::DeviceSpec,
+    mode: ExecMode,
+) -> Result<AppRun> {
+    hotspot_northup(cfg, northup::presets::apu_two_level(storage), mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup_hw::catalog;
+
+    #[test]
+    fn northup_small_matches_reference() {
+        let cfg = HotspotConfig::small();
+        let run = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true), "out-of-core result exact");
+    }
+
+    #[test]
+    fn multiple_passes_stay_exact() {
+        let cfg = HotspotConfig {
+            passes: 3,
+            ..HotspotConfig::small()
+        };
+        let run = hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn single_tile_grid_works() {
+        let cfg = HotspotConfig {
+            n: 16,
+            block: 16,
+            steps_per_pass: 5,
+            passes: 2,
+            ring: 2,
+            seed: 1,
+        };
+        let run = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn auto_blocking_reproduces_the_paper_choice() {
+        let tree = northup::presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let cfg = HotspotConfig::auto(&tree, 16 * 1024, 64, 1, 0).unwrap();
+        assert_eq!(cfg.block, 8 * 1024, "the paper's manual 8k blocking");
+        let cfg = HotspotConfig::auto(&tree, 64, 3, 2, 0).unwrap();
+        let run = hotspot_northup(&cfg, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn northup_three_level_matches_reference() {
+        let cfg = HotspotConfig::small();
+        let tree = northup::presets::discrete_gpu_three_level(catalog::hdd_wd5000());
+        let run = hotspot_northup(&cfg, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn northup_checksum_matches_in_memory() {
+        let cfg = HotspotConfig::small();
+        let a = hotspot_in_memory(&cfg, ExecMode::Real).unwrap();
+        let b = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let (ca, cb) = (a.checksum.unwrap(), b.checksum.unwrap());
+        assert!((ca - cb).abs() <= 1e-5 * ca.abs(), "{ca} vs {cb}");
+    }
+
+    #[test]
+    fn paper_scale_slowdown_bands() {
+        let cfg = HotspotConfig::paper();
+        let base = hotspot_in_memory(&cfg, ExecMode::Modeled).unwrap();
+        let ssd = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let hdd = hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
+        let s_ssd = ssd.slowdown_vs(&base);
+        let s_hdd = hdd.slowdown_vs(&base);
+        // Paper: ~1.3x on SSD, 2-2.5x on disk.
+        assert!((1.0..1.8).contains(&s_ssd), "hotspot ssd {s_ssd}");
+        assert!((1.6..3.2).contains(&s_hdd), "hotspot hdd {s_hdd}");
+        assert!(s_hdd > s_ssd);
+    }
+
+    #[test]
+    fn split_leaf_is_exact_for_any_fraction() {
+        let cfg = HotspotConfig {
+            n: 48,
+            block: 16,
+            steps_per_pass: 3,
+            passes: 2,
+            ring: 2,
+            seed: 3,
+        };
+        for f in [0.0, 0.3, 0.7, 1.0] {
+            let run =
+                hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Real)
+                    .unwrap();
+            assert_eq!(run.verified, Some(true), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn optimal_split_beats_gpu_only() {
+        // SIII-E: spreading work across both APU devices beats GPU-only.
+        // 4k bands keep the double-buffered full-width regions within the
+        // 2 GB staging budget.
+        let cfg = HotspotConfig {
+            block: 4 * 1024,
+            ..HotspotConfig::paper()
+        };
+        let f = optimal_gpu_fraction();
+        assert!((0.5..1.0).contains(&f), "GPU does most of the work: {f}");
+        let gpu_only =
+            hotspot_split_leaf(&cfg, 1.0, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
+                .unwrap();
+        let split =
+            hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
+                .unwrap();
+        let speedup =
+            gpu_only.makespan().as_secs_f64() / split.makespan().as_secs_f64();
+        assert!(
+            speedup > 1.05,
+            "split at {f:.2} should beat gpu-only: {speedup:.3}"
+        );
+        // And a terrible split (mostly CPU) is worse than gpu-only.
+        let bad =
+            hotspot_split_leaf(&cfg, 0.1, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
+                .unwrap();
+        assert!(bad.makespan() > gpu_only.makespan());
+    }
+
+    #[test]
+    fn timing_is_mode_independent() {
+        let cfg = HotspotConfig::small();
+        let real = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let modeled = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        assert_eq!(real.makespan(), modeled.makespan());
+    }
+}

@@ -1,0 +1,52 @@
+//! # northup-apps — the paper's case-study applications on Northup
+//!
+//! Each §IV application comes as an in-memory baseline plus a Northup
+//! out-of-core version over any chain topology preset, with Real mode
+//! (real bytes, results verified against oracles) and Modeled mode
+//! (paper-scale virtual-time runs):
+//!
+//! * [`matmul`] — tiled dense matrix multiply with the §IV-A row-shard
+//!   reuse optimization.
+//! * [`hotspot`] — HotSpot-2D with packed borders generalized to exact
+//!   trapezoid temporal blocking (§IV-B).
+//! * [`spmv`] — CSR-Adaptive with nnz-aware shards, per-shard CPU
+//!   re-binning, and variable-sized array I/O (§IV-C).
+//! * [`balance`] — the §V-E CPU+GPU work-stealing leaf (Figs. 10/11).
+//! * [`adaptive`] — §III-E profile-guided task-to-processor mapping.
+//! * [`subtree`] — §V-E/§VII dynamic dispatch across asymmetric subtrees.
+//! * [`reduce`] — out-of-core map/reduce on the generic chunk pipeline.
+//! * [`layout`] — the §VI data-layout study: CSR→ELL transformation during
+//!   migration, with the input-dependent crossover quantified.
+//! * [`distributed`] — §VII distributed GEMM over the cluster preset, with
+//!   a strong-scaling curve capped by the shared parallel file system.
+//! * [`calibration`] — every model knob, documented.
+//! * [`report`] — run results and Fig.-6-style comparisons.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod balance;
+pub mod calibration;
+pub mod distributed;
+pub mod hotspot;
+pub mod layout;
+pub mod matmul;
+pub mod reduce;
+pub mod report;
+pub mod spmv;
+pub mod subtree;
+
+pub use adaptive::{adaptive_stencil_stream, AdaptiveMapper, AdaptiveOutcome, Policy};
+pub use balance::{fig11_speedup, run_balanced, BalanceConfig, BalanceRun, LeafRates};
+pub use hotspot::{
+    hotspot_apu, hotspot_in_memory, hotspot_northup, hotspot_split_leaf, optimal_gpu_fraction,
+    HotspotConfig,
+};
+pub use distributed::{gemm_cluster, scaling_curve, DistGemmConfig};
+pub use layout::{format_study, spmv_with_format, FormatRow, SpmvFormat};
+pub use matmul::{matmul_apu, matmul_in_memory, matmul_northup, MatmulConfig};
+pub use reduce::{map_northup, reduce_northup, ReduceOp, StreamConfig};
+pub use report::AppRun;
+pub use spmv::{spmv_apu, spmv_in_memory, spmv_northup, SpmvInput};
+pub use subtree::{branches, run_batch, Branch, Dispatch, SubtreeOutcome};

@@ -1,0 +1,686 @@
+//! Out-of-core dense matrix multiply on Northup (paper §IV-A, Fig. 3).
+//!
+//! `C = A x B`, all `n x n` f32. The root storage holds the matrices in the
+//! preprocessed chunked layout the paper describes ("a one-time overhead of
+//! preprocessing the original file and reorganizing it ... for chunking"):
+//! `A` row-major (row shards contiguous), `B` column-shard-major, `C`
+//! block-major.
+//!
+//! Each root-level step loads a row shard of `A` and a column shard of `B`
+//! into the staging DRAM and computes one `block x block` result tile. The
+//! paper's reuse optimization is applied: "row shard m ... can stay in the
+//! l+1 level and the program just iteratively loads column shards". Column
+//! shards and result tiles use a ring of staging buffers, so loads pipeline
+//! behind compute (§III-C multi-stage queues). Below the DRAM level (a
+//! discrete-GPU or exascale chain) whole shards move level to level with
+//! the same A-reuse.
+
+use crate::calibration::{model_for, GEMM_RING};
+use crate::report::AppRun;
+use northup::{BufferHandle, ExecMode, NodeId, ProcKind, Result, Runtime, Tree};
+use northup_kernels::{f32s_to_bytes, matmul_naive, matmul_tiled, DenseMatrix, LEAF_TILE};
+
+/// Configuration of one matmul scenario.
+#[derive(Debug, Clone)]
+pub struct MatmulConfig {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// DRAM blocking (the paper's 4k x 4k).
+    pub block: usize,
+    /// Staging ring depth for B shards / C tiles.
+    pub ring: usize,
+    /// RNG seed for input data (Real mode).
+    pub seed: u64,
+}
+
+impl MatmulConfig {
+    /// Paper-scale 16k x 16k input with 4k blocking (§V-A).
+    pub fn paper() -> Self {
+        MatmulConfig {
+            n: crate::calibration::paper::GEMM_N,
+            block: crate::calibration::paper::GEMM_BLOCK,
+            ring: GEMM_RING,
+            seed: 1,
+        }
+    }
+
+    /// Paper-scale 32k x 32k input.
+    pub fn paper_large() -> Self {
+        MatmulConfig {
+            n: crate::calibration::paper::GEMM_N_LARGE,
+            ..MatmulConfig::paper()
+        }
+    }
+
+    /// Plan the blocking automatically from the tree's capacities
+    /// (paper §III-B: "by examining the capacity and usage, a program can
+    /// decide the blocking size"). On the paper's APU tree at 16k this
+    /// reproduces the hand-tuned 4k x 4k blocking.
+    pub fn auto(tree: &Tree, n: usize, seed: u64) -> Result<Self> {
+        assert!(n.is_power_of_two(), "auto planning expects power-of-two n");
+        let ring = GEMM_RING;
+        let plan = northup::plan_blocks(
+            tree,
+            &northup::pow2_candidates(16, n),
+            northup::DEFAULT_HEADROOM,
+            staging_footprint(n, ring),
+        )?;
+        Ok(MatmulConfig {
+            n,
+            block: plan.staging_block().min(n),
+            ring,
+            seed,
+        })
+    }
+
+    /// Laptop-scale input for Real-mode verification.
+    pub fn small() -> Self {
+        MatmulConfig {
+            n: 64,
+            block: 16,
+            ring: 2,
+            seed: 7,
+        }
+    }
+
+    fn nb(&self) -> usize {
+        assert!(
+            self.block > 0 && self.n % self.block == 0,
+            "block {} must divide n {}",
+            self.block,
+            self.n
+        );
+        self.n / self.block
+    }
+
+    fn elem_bytes(&self) -> u64 {
+        4
+    }
+}
+
+/// The in-memory baseline: the whole working set resident in DRAM, one GPU
+/// kernel (the paper's baseline "assumes all the data is already loaded
+/// into memory").
+pub fn matmul_in_memory(cfg: &MatmulConfig, mode: ExecMode) -> Result<AppRun> {
+    let tree = northup::presets::in_memory();
+    let rt = Runtime::new(tree, mode)?;
+    let root = rt.root_ctx();
+    let n = cfg.n as u64;
+    let bytes = n * n * cfg.elem_bytes();
+    let a = root.alloc(bytes)?;
+    let b = root.alloc(bytes)?;
+    let c = root.alloc(bytes)?;
+
+    let (a_mat, b_mat) = if mode == ExecMode::Real {
+        let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
+        let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
+        rt.write_slice(a, 0, &f32s_to_bytes(&am.data))?;
+        rt.write_slice(b, 0, &f32s_to_bytes(&bm.data))?;
+        (Some(am), Some(bm))
+    } else {
+        (None, None)
+    };
+
+    let gpu = root
+        .procs()
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("in-memory preset has a GPU");
+    let dur = model_for(&gpu.name).gemm_time(n, n, n);
+    root.compute(ProcKind::Gpu, dur, &[a, b], &[c], "gemm full")?;
+
+    let mut checksum = None;
+    let mut verified = None;
+    if let (Some(am), Some(bm)) = (&a_mat, &b_mat) {
+        let mut cm = DenseMatrix::zeros(cfg.n, cfg.n);
+        matmul_tiled(am, bm, &mut cm, LEAF_TILE);
+        rt.write_slice(c, 0, &f32s_to_bytes(&cm.data))?;
+        checksum = Some(cm.checksum());
+        if cfg.n <= 256 {
+            let mut oracle = DenseMatrix::zeros(cfg.n, cfg.n);
+            matmul_naive(am, bm, &mut oracle);
+            verified = Some(oracle.max_abs_diff(&cm) < 1e-3 * cfg.n as f32);
+        }
+    }
+
+    Ok(AppRun {
+        name: "matmul/in-memory".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Per-level staging working set of the schedule in this module, as a
+/// footprint function for the §III-B auto-planner: the resident A row
+/// shard (double-buffered for prefetch) plus `ring` (B shard, C tile)
+/// pairs at the staging level; one (A, B, C) shard set at deeper levels.
+pub fn staging_footprint(n: usize, ring: usize) -> impl Fn(usize, usize) -> u64 {
+    move |level, b| {
+        let (b, n, ring) = (b as u64, n as u64, ring as u64);
+        if level == 0 {
+            2 * b * n * 4 + ring * (n * b + b * b) * 4
+        } else {
+            (b * n + n * b + b * b) * 4
+        }
+    }
+}
+
+struct DeepBufs {
+    node: NodeId,
+    a: BufferHandle,
+    b: BufferHandle,
+    c: BufferHandle,
+}
+
+/// Resolve the compute chain below the staging node: every node must have
+/// exactly one child down to the leaf.
+fn chain_below(tree: &Tree, from: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut cur = from;
+    while let Some(&child) = tree.children(cur).first() {
+        assert_eq!(
+            tree.children(cur).len(),
+            1,
+            "matmul schedule expects a chain topology below the staging level"
+        );
+        out.push(child);
+        cur = child;
+    }
+    out
+}
+
+/// Out-of-core Northup matmul over a chain topology (storage root ->
+/// staging DRAM [-> device memory ...] -> GPU leaf).
+pub fn matmul_northup(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> Result<AppRun> {
+    let rt = Runtime::new(tree, mode)?;
+    matmul_northup_on(&rt, cfg)
+}
+
+/// Like [`matmul_northup`], on a caller-provided runtime (so callers can
+/// enable DAG tracing or inspect the runtime afterwards).
+pub fn matmul_northup_on(rt: &Runtime, cfg: &MatmulConfig) -> Result<AppRun> {
+    let mode = rt.mode();
+    let es = cfg.elem_bytes();
+    let n = cfg.n as u64;
+    let block = cfg.block as u64;
+    let nb = cfg.nb() as u64;
+    let shard_a = block * n * es; // row shard: block x n
+    let shard_b = n * block * es; // col shard: n x block (row-major k x block)
+    let tile_c = block * block * es;
+
+    let root_ctx = rt.root_ctx();
+    let root = root_ctx.node();
+    let file_bytes = n * n * es;
+    let a_file = rt.alloc(file_bytes, root)?;
+    let b_file = rt.alloc(file_bytes, root)?;
+    let c_file = rt.alloc(file_bytes, root)?;
+
+    // Preprocessing (uncharged, as in the paper): write A row-major and B in
+    // column-shard-major layout.
+    let (a_mat, b_mat) = if mode == ExecMode::Real {
+        let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
+        let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
+        rt.write_slice(a_file, 0, &f32s_to_bytes(&am.data))?;
+        for j in 0..nb {
+            let shard = bm.extract_block(0, (j * block) as usize, cfg.n, cfg.block);
+            rt.write_slice(b_file, j * shard_b, &f32s_to_bytes(&shard.data))?;
+        }
+        (Some(am), Some(bm))
+    } else {
+        (None, None)
+    };
+
+    // Staging level (first child of the root).
+    let stage_node = *rt.tree().children(root).first().expect("staging level");
+    let a_stage = rt.alloc(shard_a, stage_node)?;
+    // Prefetching needs at least double buffering (see the tile loop below).
+    let ring = cfg.ring.max(2);
+    let b_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(shard_b, stage_node))
+        .collect::<Result<_>>()?;
+    let c_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(tile_c, stage_node))
+        .collect::<Result<_>>()?;
+
+    // Deeper chain (discrete GPU / exascale): whole-shard staging per level.
+    let chain = chain_below(rt.tree(), stage_node);
+    let deep: Vec<DeepBufs> = chain
+        .iter()
+        .map(|&node| {
+            Ok(DeepBufs {
+                node,
+                a: rt.alloc(shard_a, node)?,
+                b: rt.alloc(shard_b, node)?,
+                c: rt.alloc(tile_c, node)?,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // The compute leaf and its GPU model.
+    let leaf_node = deep.last().map(|d| d.node).unwrap_or(stage_node);
+    let gpu = rt
+        .tree()
+        .node(leaf_node)
+        .procs
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("leaf has a GPU");
+    let gpu_model = model_for(&gpu.name);
+    let kernel_time = gpu_model.gemm_time(block, block, n);
+
+    // Tiles in row-shard-major order; loads for tile t+1 are issued before
+    // tile t's compute and write-back (software pipelining through the
+    // paper's multi-stage transfer queues), so the storage device streams
+    // ahead instead of head-of-line blocking behind result writes.
+    let stage_ctx = rt.ctx_at(stage_node);
+    let a_ring = [a_stage, rt.alloc(shard_a, stage_node)?];
+    let tiles = nb * nb;
+    let issue_loads = |t: u64| -> Result<()> {
+        let (i, j) = (t / nb, t % nb);
+        if j == 0 {
+            // New row shard of A — the §IV-A reuse optimization keeps it
+            // staged for the whole row of tiles.
+            root_ctx.spawn(0, |_| {}); // work-queue bookkeeping
+            rt.move_data(a_ring[(i % 2) as usize], 0, a_file, i * shard_a, shard_a)?;
+        }
+        let r = (t % ring as u64) as usize;
+        rt.move_data(b_stage[r], 0, b_file, j * shard_b, shard_b)?;
+        Ok(())
+    };
+    issue_loads(0)?;
+    for t in 0..tiles {
+        let (i, j) = (t / nb, t % nb);
+        if t + 1 < tiles {
+            issue_loads(t + 1)?;
+        }
+        {
+            let a_stage = a_ring[(i % 2) as usize];
+            let r = (t % ring as u64) as usize;
+            let a_new = j == 0;
+
+            // Push down the deeper chain (whole shards, A reused).
+            let (mut cur_a, mut cur_b) = (a_stage, b_stage[r]);
+            for d in &deep {
+                if a_new {
+                    rt.move_data(d.a, 0, cur_a, 0, shard_a)?;
+                }
+                rt.move_data(d.b, 0, cur_b, 0, shard_b)?;
+                cur_a = d.a;
+                cur_b = d.b;
+            }
+            let leaf_c = deep.last().map(|d| d.c).unwrap_or(c_stage[r]);
+
+            rt.charge_compute(
+                leaf_node,
+                ProcKind::Gpu,
+                kernel_time,
+                &[cur_a, cur_b],
+                &[leaf_c],
+                &format!("gemm tile ({i},{j})"),
+            )?;
+
+            // Real kernel execution on the leaf's bytes.
+            if mode == ExecMode::Real {
+                let mut ab = vec![0u8; shard_a as usize];
+                let mut bb = vec![0u8; shard_b as usize];
+                rt.read_slice(cur_a, 0, &mut ab)?;
+                rt.read_slice(cur_b, 0, &mut bb)?;
+                let am = DenseMatrix {
+                    rows: cfg.block,
+                    cols: cfg.n,
+                    data: northup_kernels::bytes_to_f32s(&ab),
+                };
+                let bm = DenseMatrix {
+                    rows: cfg.n,
+                    cols: cfg.block,
+                    data: northup_kernels::bytes_to_f32s(&bb),
+                };
+                let mut cm = DenseMatrix::zeros(cfg.block, cfg.block);
+                matmul_tiled(&am, &bm, &mut cm, LEAF_TILE);
+                rt.write_slice(leaf_c, 0, &f32s_to_bytes(&cm.data))?;
+            }
+
+            // Pull the result tile back up the chain, then out to storage.
+            let mut cur_c = leaf_c;
+            for d in deep.iter().rev().skip(1) {
+                rt.move_data(d.c, 0, cur_c, 0, tile_c)?;
+                cur_c = d.c;
+            }
+            if !deep.is_empty() {
+                rt.move_data(c_stage[r], 0, cur_c, 0, tile_c)?;
+                cur_c = c_stage[r];
+            }
+            stage_ctx
+                .move_up(c_file, (i * nb + j) * tile_c, cur_c, 0, tile_c)?;
+        }
+    }
+
+    // Verification: reassemble C from its block-major layout.
+    let mut checksum = None;
+    let mut verified = None;
+    if let (Some(am), Some(bm)) = (&a_mat, &b_mat) {
+        let mut cm = DenseMatrix::zeros(cfg.n, cfg.n);
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut tile = vec![0u8; tile_c as usize];
+                rt.read_slice(c_file, (i * nb + j) * tile_c, &mut tile)?;
+                let tm = DenseMatrix {
+                    rows: cfg.block,
+                    cols: cfg.block,
+                    data: northup_kernels::bytes_to_f32s(&tile),
+                };
+                cm.insert_block((i * block) as usize, (j * block) as usize, &tm);
+            }
+        }
+        checksum = Some(cm.checksum());
+        if cfg.n <= 256 {
+            let mut oracle = DenseMatrix::zeros(cfg.n, cfg.n);
+            matmul_naive(am, bm, &mut oracle);
+            verified = Some(oracle.max_abs_diff(&cm) < 1e-3 * cfg.n as f32);
+        }
+    }
+
+    Ok(AppRun {
+        name: "matmul/northup".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Out-of-core matmul with the k dimension split as well (the "dot
+/// product at the block level" of the paper's Fig. 3): every operand moves
+/// as a `block x block` tile, and C tiles accumulate partial sums over the
+/// k tiles. This is the schedule needed once even a single row shard
+/// (`block x n`) no longer fits the staging level — the price is that C
+/// tiles must round-trip for accumulation unless they stay resident, so we
+/// keep the current C tile staged across the whole k loop (write-back once
+/// per (i, j)).
+pub fn matmul_northup_ksplit(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> Result<AppRun> {
+    let rt = Runtime::new(tree, mode)?;
+    let es = cfg.elem_bytes();
+    let n = cfg.n as u64;
+    let block = cfg.block as u64;
+    let nb = cfg.nb() as u64;
+    let tile = block * block * es;
+
+    let root = rt.tree().root();
+    // Storage layout: all three matrices tile-major (tile (r, c) at offset
+    // (r * nb + c) * tile), written by preprocessing.
+    let a_file = rt.alloc(n * n * es, root)?;
+    let b_file = rt.alloc(n * n * es, root)?;
+    let c_file = rt.alloc(n * n * es, root)?;
+
+    let (a_mat, b_mat) = if mode == ExecMode::Real {
+        let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
+        let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
+        for (m, file) in [(&am, a_file), (&bm, b_file)] {
+            for r in 0..nb {
+                for c in 0..nb {
+                    let t = m.extract_block(
+                        (r * block) as usize,
+                        (c * block) as usize,
+                        cfg.block,
+                        cfg.block,
+                    );
+                    rt.write_slice(file, (r * nb + c) * tile, &f32s_to_bytes(&t.data))?;
+                }
+            }
+        }
+        (Some(am), Some(bm))
+    } else {
+        (None, None)
+    };
+
+    let stage = *rt.tree().children(root).first().expect("staging level");
+    let gpu = rt
+        .tree()
+        .node(stage)
+        .procs
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("k-split schedule expects the GPU at the staging leaf");
+    let kernel_time = model_for(&gpu.name).gemm_time(block, block, block);
+
+    let ring = cfg.ring.max(2);
+    let a_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(tile, stage))
+        .collect::<Result<_>>()?;
+    let b_stage: Vec<BufferHandle> = (0..ring)
+        .map(|_| rt.alloc(tile, stage))
+        .collect::<Result<_>>()?;
+    let c_stage = rt.alloc(tile, stage)?;
+
+    // Host-side accumulator for Real mode (the staged C tile's contents).
+    let mut acc = DenseMatrix::zeros(cfg.block, cfg.block);
+
+    let load = |t: u64, i: u64, j: u64| -> Result<()> {
+        // Tile t of the (i, j) k-loop: A(i, t) and B(t, j).
+        let r = (t % ring as u64) as usize;
+        rt.move_data(a_stage[r], 0, a_file, (i * nb + t) * tile, tile)?;
+        rt.move_data(b_stage[r], 0, b_file, (t * nb + j) * tile, tile)?;
+        Ok(())
+    };
+
+    for i in 0..nb {
+        for j in 0..nb {
+            if mode == ExecMode::Real {
+                acc = DenseMatrix::zeros(cfg.block, cfg.block);
+            }
+            load(0, i, j)?;
+            for t in 0..nb {
+                if t + 1 < nb {
+                    load(t + 1, i, j)?;
+                }
+                let r = (t % ring as u64) as usize;
+                rt.charge_compute(
+                    stage,
+                    ProcKind::Gpu,
+                    kernel_time,
+                    &[a_stage[r], b_stage[r], c_stage],
+                    &[c_stage],
+                    &format!("gemm k-tile ({i},{j},{t})"),
+                )?;
+                if mode == ExecMode::Real {
+                    let mut ab = vec![0u8; tile as usize];
+                    let mut bb = vec![0u8; tile as usize];
+                    rt.read_slice(a_stage[r], 0, &mut ab)?;
+                    rt.read_slice(b_stage[r], 0, &mut bb)?;
+                    let am = DenseMatrix {
+                        rows: cfg.block,
+                        cols: cfg.block,
+                        data: northup_kernels::bytes_to_f32s(&ab),
+                    };
+                    let bm = DenseMatrix {
+                        rows: cfg.block,
+                        cols: cfg.block,
+                        data: northup_kernels::bytes_to_f32s(&bb),
+                    };
+                    matmul_tiled(&am, &bm, &mut acc, LEAF_TILE);
+                }
+            }
+            if mode == ExecMode::Real {
+                rt.write_slice(c_stage, 0, &f32s_to_bytes(&acc.data))?;
+            }
+            rt.move_data(c_file, (i * nb + j) * tile, c_stage, 0, tile)?;
+        }
+    }
+
+    let mut checksum = None;
+    let mut verified = None;
+    if let (Some(am), Some(bm)) = (&a_mat, &b_mat) {
+        let mut cm = DenseMatrix::zeros(cfg.n, cfg.n);
+        for r in 0..nb {
+            for c in 0..nb {
+                let mut bytes = vec![0u8; tile as usize];
+                rt.read_slice(c_file, (r * nb + c) * tile, &mut bytes)?;
+                cm.insert_block(
+                    (r * block) as usize,
+                    (c * block) as usize,
+                    &DenseMatrix {
+                        rows: cfg.block,
+                        cols: cfg.block,
+                        data: northup_kernels::bytes_to_f32s(&bytes),
+                    },
+                );
+            }
+        }
+        checksum = Some(cm.checksum());
+        if cfg.n <= 256 {
+            let mut oracle = DenseMatrix::zeros(cfg.n, cfg.n);
+            matmul_naive(am, bm, &mut oracle);
+            verified = Some(oracle.max_abs_diff(&cm) < 1e-3 * cfg.n as f32);
+        }
+    }
+
+    Ok(AppRun {
+        name: "matmul/northup-ksplit".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Run the Northup matmul over the 2-level APU preset with a given storage.
+pub fn matmul_apu(cfg: &MatmulConfig, storage: northup_hw::DeviceSpec, mode: ExecMode) -> Result<AppRun> {
+    matmul_northup(cfg, northup::presets::apu_two_level(storage), mode)
+}
+
+/// Convenience for tests: contexts must see a chain even when unused.
+pub fn chain_depth(tree: &Tree) -> usize {
+    chain_below(tree, tree.root()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup_hw::catalog;
+
+    #[test]
+    fn northup_small_matches_reference_on_apu() {
+        let cfg = MatmulConfig::small();
+        let run = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true), "{run:?}");
+    }
+
+    #[test]
+    fn northup_small_matches_reference_on_three_levels() {
+        let cfg = MatmulConfig::small();
+        let tree = northup::presets::discrete_gpu_three_level(catalog::hdd_wd5000());
+        let run = matmul_northup(&cfg, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn northup_matches_in_memory_checksum() {
+        let cfg = MatmulConfig::small();
+        let a = matmul_in_memory(&cfg, ExecMode::Real).unwrap();
+        let b = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let (ca, cb) = (a.checksum.unwrap(), b.checksum.unwrap());
+        assert!(
+            (ca - cb).abs() <= 1e-6 * ca.abs().max(1.0),
+            "checksums {ca} vs {cb}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_modeled_runs_without_real_memory() {
+        let cfg = MatmulConfig::paper();
+        let base = matmul_in_memory(&cfg, ExecMode::Modeled).unwrap();
+        let ssd = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let slowdown = ssd.slowdown_vs(&base);
+        // Compute-bound GEMM hides its I/O: a few percent at most (paper: 5%).
+        assert!(
+            (1.0..1.25).contains(&slowdown),
+            "gemm ssd slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn disk_is_slower_than_ssd_but_still_mostly_hidden() {
+        let cfg = MatmulConfig::paper();
+        let base = matmul_in_memory(&cfg, ExecMode::Modeled).unwrap();
+        let ssd = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let hdd = matmul_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
+        let s_ssd = ssd.slowdown_vs(&base);
+        let s_hdd = hdd.slowdown_vs(&base);
+        assert!(s_hdd > s_ssd);
+        assert!(s_hdd < 2.0, "matmul disk overhead mostly hidden: {s_hdd}");
+    }
+
+    #[test]
+    fn modeled_and_real_have_identical_timing() {
+        // The virtual timeline must not depend on whether bytes moved.
+        let cfg = MatmulConfig::small();
+        let real = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let modeled = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        assert_eq!(real.makespan(), modeled.makespan());
+    }
+
+    #[test]
+    fn ksplit_matches_reference_and_in_memory() {
+        let cfg = MatmulConfig {
+            n: 64,
+            block: 16,
+            ring: 2,
+            seed: 13,
+        };
+        let tree = northup::presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let run = matmul_northup_ksplit(&cfg, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+        let base = matmul_in_memory(&cfg, ExecMode::Real).unwrap();
+        let (ca, cb) = (base.checksum.unwrap(), run.checksum.unwrap());
+        assert!((ca - cb).abs() <= 1e-6 * ca.abs().max(1.0));
+    }
+
+    #[test]
+    fn ksplit_reads_more_but_needs_less_staging() {
+        // The k-split schedule re-reads operands (no row-shard residency)
+        // but its staging footprint is only a few block tiles — the trade
+        // the paper's Fig. 3 dot-product variant makes.
+        let cfg = MatmulConfig::paper();
+        let shard = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let ksplit = matmul_northup_ksplit(
+            &cfg,
+            northup::presets::apu_two_level(catalog::ssd_hyperx_predator()),
+            ExecMode::Modeled,
+        )
+        .unwrap();
+        let io = |run: &AppRun| {
+            run.report
+                .io
+                .iter()
+                .find(|(n, _)| n == "hyperx-predator")
+                .map(|(_, t)| t.bytes_read)
+                .unwrap()
+        };
+        assert!(io(&ksplit) > io(&shard), "k-split re-reads operands");
+        // Both still compute-bound on the APU: similar makespans.
+        let ratio = ksplit.makespan().as_secs_f64() / shard.makespan().as_secs_f64();
+        assert!((0.9..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn auto_blocking_reproduces_the_paper_choice() {
+        let tree = northup::presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let cfg = MatmulConfig::auto(&tree, 16 * 1024, 1).unwrap();
+        assert_eq!(cfg.block, 4 * 1024, "the paper's manual 4k blocking");
+        // And at a small scale the planned config runs and verifies.
+        let cfg = MatmulConfig::auto(&tree, 64, 1).unwrap();
+        let run = matmul_northup(&cfg, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_block_is_rejected() {
+        let cfg = MatmulConfig {
+            n: 100,
+            block: 48,
+            ring: 2,
+            seed: 0,
+        };
+        let _ = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real);
+    }
+}

@@ -1,0 +1,601 @@
+//! Out-of-core CSR-Adaptive SpMV on Northup (paper §IV-C, Fig. 5).
+//!
+//! The CSR arrays (`row_ptr`, `col_id`, `data`) live on storage; the matrix
+//! is divided in the row dimension into shards ("the matrix is divided into
+//! four chunks in row-dimension to load into DRAM"). Per shard the runtime
+//!
+//! 1. loads the three array slices (three variable-sized file reads — the
+//!    "variable buffer sizes" that give CSR-Adaptive worse I/O than
+//!    HotSpot's regular blocks, §V-B),
+//! 2. repacks + re-bins the rows on the CPU (the binning work the paper's
+//!    breakdown charges to the CPU, §V-C),
+//! 3. runs the adaptive kernels on the GPU, and
+//! 4. writes the result segment of `b` back to storage.
+//!
+//! The dense vector `x` is staged once and stays resident ("one requirement
+//! for SpMV is the fastest memory has to be big enough to hold the
+//! vector").
+
+use crate::calibration::{
+    model_for, spmv_dgpu_model, spmv_gpu_model, SPMV_CHUNKS, SPMV_IO_EFFICIENCY,
+    SPMV_NORTHUP_BIN_FACTOR, SPMV_REPACK_BW,
+};
+use crate::report::AppRun;
+use northup::{BufferHandle, ExecMode, NodeId, ProcKind, Result, Runtime, Tree};
+use northup_kernels::{binning_time, bytes_to_f32s, f32s_to_bytes, rel_error, spmv_adaptive};
+use northup_sim::SimDur;
+use northup_sparse::{bin_rows, partition_even_rows, BinningParams, Csr, PaperSpmvShape};
+
+/// The SpMV input: a real matrix (Real mode) or paper-scale shape
+/// parameters (Modeled mode).
+#[derive(Debug, Clone)]
+pub enum SpmvInput {
+    /// A concrete CSR matrix (Real mode).
+    Matrix(Csr),
+    /// Shape-only description for paper-scale modeled runs.
+    Shape(PaperSpmvShape),
+}
+
+impl SpmvInput {
+    /// Paper-scale input (§IV-C: 16M rows, 4 chunks).
+    pub fn paper() -> Self {
+        SpmvInput::Shape(PaperSpmvShape {
+            rows: crate::calibration::paper::SPMV_ROWS,
+            mean_nnz_per_row: crate::calibration::paper::SPMV_NNZ_PER_ROW,
+            chunks: SPMV_CHUNKS,
+        })
+    }
+
+    /// Rows of the matrix.
+    pub fn rows(&self) -> u64 {
+        match self {
+            SpmvInput::Matrix(m) => m.rows as u64,
+            SpmvInput::Shape(s) => s.rows,
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> u64 {
+        match self {
+            SpmvInput::Matrix(m) => m.nnz() as u64,
+            SpmvInput::Shape(s) => s.nnz(),
+        }
+    }
+}
+
+/// Per-shard byte geometry (row_ptr slice, col slice, val slice, y segment).
+#[derive(Debug, Clone, Copy)]
+struct ShardGeom {
+    row_start: u64,
+    rows: u64,
+    nnz_start: u64,
+    nnz: u64,
+}
+
+impl ShardGeom {
+    fn rp_bytes(&self) -> u64 {
+        (self.rows + 1) * 4
+    }
+    fn ci_bytes(&self) -> u64 {
+        self.nnz * 4
+    }
+    fn va_bytes(&self) -> u64 {
+        self.nnz * 4
+    }
+    fn payload(&self) -> u64 {
+        self.rp_bytes() + self.ci_bytes() + self.va_bytes()
+    }
+    fn y_bytes(&self) -> u64 {
+        self.rows * 4
+    }
+}
+
+fn shard_geometry(input: &SpmvInput) -> Vec<ShardGeom> {
+    match input {
+        SpmvInput::Matrix(m) => partition_even_rows(m, SPMV_CHUNKS)
+            .into_iter()
+            .map(|s| ShardGeom {
+                row_start: s.row_start as u64,
+                rows: s.rows() as u64,
+                nnz_start: s.nnz_start as u64,
+                nnz: s.nnz() as u64,
+            })
+            .collect(),
+        SpmvInput::Shape(s) => {
+            let k = s.chunks as u64;
+            (0..k)
+                .map(|i| {
+                    let row_start = s.rows * i / k;
+                    let row_end = s.rows * (i + 1) / k;
+                    let nnz_start = s.nnz() * i / k;
+                    let nnz_end = s.nnz() * (i + 1) / k;
+                    ShardGeom {
+                        row_start,
+                        rows: row_end - row_start,
+                        nnz_start,
+                        nnz: nnz_end - nnz_start,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn gpu_spmv_model(name: &str) -> northup_kernels::ProcModel {
+    if name.starts_with("apu") {
+        spmv_gpu_model()
+    } else {
+        spmv_dgpu_model()
+    }
+}
+
+/// In-memory CSR-Adaptive baseline: matrix resident in DRAM, one binning
+/// pass on the CPU, adaptive kernels on the GPU.
+pub fn spmv_in_memory(input: &SpmvInput, mode: ExecMode) -> Result<AppRun> {
+    let tree = northup::presets::in_memory();
+    let rt = Runtime::new(tree, mode)?;
+    let root = rt.root_ctx();
+    let rows = input.rows();
+    let nnz = input.nnz();
+    let payload = (rows + 1) * 4 + nnz * 8;
+    let mat = root.alloc(payload)?;
+    let x = root.alloc(rows * 4)?;
+    let y = root.alloc(rows * 4)?;
+
+    let cpu = root
+        .procs()
+        .iter()
+        .find(|p| p.kind == ProcKind::Cpu)
+        .expect("CPU present");
+    let gpu = root
+        .procs()
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("GPU present");
+    let _ = model_for(&cpu.name); // CPU model resolvable (binning_time is global)
+
+    root.compute(ProcKind::Cpu, binning_time(rows), &[mat], &[mat], "binning")?;
+    let dur = gpu_spmv_model(&gpu.name).spmv_time(rows, nnz);
+    root.compute(ProcKind::Gpu, dur, &[mat, x], &[y], "csr-adaptive")?;
+
+    let mut checksum = None;
+    let mut verified = None;
+    if let (ExecMode::Real, SpmvInput::Matrix(m)) = (mode, input) {
+        let xv: Vec<f32> = (0..m.cols).map(|i| ((i % 11) as f32 - 5.0) * 0.3).collect();
+        let blocks = bin_rows(m, BinningParams::default());
+        let mut yv = vec![0.0f32; m.rows];
+        spmv_adaptive(m, &blocks, &xv, &mut yv);
+        rt.write_slice(y, 0, &f32s_to_bytes(&yv))?;
+        let mut oracle = vec![0.0f32; m.rows];
+        m.spmv_reference(&xv, &mut oracle);
+        verified = Some(rel_error(&oracle, &yv) < 1e-4);
+        checksum = Some(yv.iter().map(|&v| v as f64).sum());
+    }
+
+    Ok(AppRun {
+        name: "spmv/in-memory".into(),
+        report: rt.report(),
+        verified,
+        checksum,
+    })
+}
+
+/// Out-of-core Northup CSR-Adaptive over a chain topology.
+pub fn spmv_northup(input: &SpmvInput, tree: Tree, mode: ExecMode) -> Result<AppRun> {
+    let rt = Runtime::new(tree, mode)?;
+    spmv_northup_on(&rt, input)
+}
+
+/// Like [`spmv_northup`], on a caller-provided runtime.
+pub fn spmv_northup_on(rt: &Runtime, input: &SpmvInput) -> Result<AppRun> {
+    let mode = rt.mode();
+    let rows = input.rows();
+    let nnz = input.nnz();
+    let geoms = shard_geometry(input);
+
+    let root = rt.tree().root();
+    // Storage layout: row_ptr | col_id | data | x | y as separate regions.
+    let rp_file = rt.alloc((rows + 1) * 4, root)?;
+    let ci_file = rt.alloc(nnz * 4, root)?;
+    let va_file = rt.alloc(nnz * 4, root)?;
+    let x_file = rt.alloc(rows * 4, root)?;
+    let y_file = rt.alloc(rows * 4, root)?;
+
+    // Preprocessing: write the real matrix (Real mode only).
+    let mut x_host: Vec<f32> = Vec::new();
+    if let (ExecMode::Real, SpmvInput::Matrix(m)) = (mode, input) {
+        let rp: Vec<u8> = m
+            .row_ptr
+            .iter()
+            .flat_map(|&v| (v as u32).to_le_bytes())
+            .collect();
+        rt.write_slice(rp_file, 0, &rp)?;
+        let ci: Vec<u8> = m.col_idx.iter().flat_map(|&v| v.to_le_bytes()).collect();
+        rt.write_slice(ci_file, 0, &ci)?;
+        rt.write_slice(va_file, 0, &f32s_to_bytes(&m.vals))?;
+        x_host = (0..m.cols).map(|i| ((i % 11) as f32 - 5.0) * 0.3).collect();
+        rt.write_slice(x_file, 0, &f32s_to_bytes(&x_host))?;
+    }
+
+    let stage_node = *rt.tree().children(root).first().expect("staging level");
+    // The x vector stays resident at the staging level.
+    let x_stage = rt.alloc(rows * 4, stage_node)?;
+    rt.move_data(x_stage, 0, x_file, 0, rows * 4)?;
+
+    // Deeper chain for discrete-GPU trees: x also moves to the leaf once.
+    let mut chain: Vec<NodeId> = Vec::new();
+    {
+        let mut cur = stage_node;
+        while let Some(&c) = rt.tree().children(cur).first() {
+            chain.push(c);
+            cur = c;
+        }
+    }
+    let mut x_leaf = x_stage;
+    for &node in &chain {
+        let xb = rt.alloc(rows * 4, node)?;
+        rt.move_data(xb, 0, x_leaf, 0, rows * 4)?;
+        x_leaf = xb;
+    }
+    let leaf_node = chain.last().copied().unwrap_or(stage_node);
+    let cpu_node = stage_node; // CPU is at the staging DRAM in both presets
+    let gpu = rt
+        .tree()
+        .node(leaf_node)
+        .procs
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("leaf has a GPU");
+    let gpu_model = gpu_spmv_model(&gpu.name);
+
+    // Stage one shard: per-shard buffers (Listing 3's setup_buffer) and the
+    // three variable-sized array reads.
+    let stage_shard = |g: &ShardGeom| -> Result<[BufferHandle; 4]> {
+        let rp_s = rt.alloc(g.rp_bytes(), stage_node)?;
+        let ci_s = rt.alloc(g.ci_bytes(), stage_node)?;
+        let va_s = rt.alloc(g.va_bytes(), stage_node)?;
+        let y_s = rt.alloc(g.y_bytes(), stage_node)?;
+        rt.move_data(rp_s, 0, rp_file, g.row_start * 4, g.rp_bytes())?;
+        rt.move_data(ci_s, 0, ci_file, g.nnz_start * 4, g.ci_bytes())?;
+        rt.move_data(va_s, 0, va_file, g.nnz_start * 4, g.va_bytes())?;
+        Ok([rp_s, ci_s, va_s, y_s])
+    };
+
+    // Unlike matmul/hotspot, shards are NOT prefetched ahead of the current
+    // shard's processing: a sub-shard's extent is data-dependent ("the
+    // portion of data constituting a sub-shard is determined with
+    // row_ptr[start] and row_ptr[end]", §IV-C), so the runtime cannot size
+    // and issue the next shard's variable-length reads until the current
+    // pass has examined row_ptr. This is exactly why CSR-Adaptive gets
+    // less I/O overlap than HotSpot's regular blocks in the paper (§V-B).
+    let mut checksum = 0.0f64;
+    for (ci_idx, g) in geoms.iter().enumerate() {
+        let [rp_s, ci_s, va_s, y_s] = stage_shard(g)?;
+
+        // CPU: repack (rebase offsets) + per-shard re-binning.
+        let repack = SimDur::from_secs_f64(g.payload() as f64 / SPMV_REPACK_BW);
+        rt.charge_compute(
+            cpu_node,
+            ProcKind::Cpu,
+            repack,
+            &[rp_s, ci_s, va_s],
+            &[rp_s, ci_s, va_s],
+            &format!("repack shard {ci_idx}"),
+        )?;
+        let bin = binning_time(g.rows) * SPMV_NORTHUP_BIN_FACTOR;
+        rt.charge_compute(
+            cpu_node,
+            ProcKind::Cpu,
+            bin,
+            &[rp_s],
+            &[rp_s],
+            &format!("bin shard {ci_idx}"),
+        )?;
+
+        // Move shard down the deeper chain (device transfers on 3-level).
+        let (mut rp_c, mut ci_c, mut va_c, mut y_c) = (rp_s, ci_s, va_s, y_s);
+        let mut leaf_bufs: Vec<[BufferHandle; 4]> = Vec::new();
+        for &node in &chain {
+            let rp2 = rt.alloc(g.rp_bytes(), node)?;
+            let ci2 = rt.alloc(g.ci_bytes(), node)?;
+            let va2 = rt.alloc(g.va_bytes(), node)?;
+            let y2 = rt.alloc(g.y_bytes(), node)?;
+            rt.move_data(rp2, 0, rp_c, 0, g.rp_bytes())?;
+            rt.move_data(ci2, 0, ci_c, 0, g.ci_bytes())?;
+            rt.move_data(va2, 0, va_c, 0, g.va_bytes())?;
+            leaf_bufs.push([rp2, ci2, va2, y2]);
+            rp_c = rp2;
+            ci_c = ci2;
+            va_c = va2;
+            y_c = y2;
+        }
+
+        // GPU: adaptive kernels over the shard.
+        let dur = gpu_model.spmv_time(g.rows, g.nnz);
+        rt.charge_compute(
+            leaf_node,
+            ProcKind::Gpu,
+            dur,
+            &[rp_c, ci_c, va_c, x_leaf],
+            &[y_c],
+            &format!("spmv shard {ci_idx}"),
+        )?;
+
+        // Real kernel execution.
+        if let (ExecMode::Real, SpmvInput::Matrix(m)) = (mode, input) {
+            let sub = m.slice_rows(g.row_start as usize, (g.row_start + g.rows) as usize);
+            let blocks = bin_rows(&sub, BinningParams::default());
+            let mut yv = vec![0.0f32; sub.rows];
+            spmv_adaptive(&sub, &blocks, &x_host, &mut yv);
+            checksum += yv.iter().map(|&v| v as f64).sum::<f64>();
+            rt.write_slice(y_c, 0, &f32s_to_bytes(&yv))?;
+        }
+
+        // Result segment back up the chain and out to storage.
+        let mut cur_y = y_c;
+        for bufs in leaf_bufs.iter().rev().skip(1) {
+            rt.move_data(bufs[3], 0, cur_y, 0, g.y_bytes())?;
+            cur_y = bufs[3];
+        }
+        if !leaf_bufs.is_empty() {
+            rt.move_data(y_s, 0, cur_y, 0, g.y_bytes())?;
+            cur_y = y_s;
+        }
+        rt.move_data(y_file, g.row_start * 4, cur_y, 0, g.y_bytes())?;
+
+        for bufs in leaf_bufs {
+            for b in bufs {
+                rt.release(b)?;
+            }
+        }
+        rt.release(rp_s)?;
+        rt.release(ci_s)?;
+        rt.release(va_s)?;
+        rt.release(y_s)?;
+    }
+
+    let mut verified = None;
+    let mut csum = None;
+    if let (ExecMode::Real, SpmvInput::Matrix(m)) = (mode, input) {
+        let mut bytes = vec![0u8; (rows * 4) as usize];
+        rt.read_slice(y_file, 0, &mut bytes)?;
+        let got = bytes_to_f32s(&bytes);
+        let mut oracle = vec![0.0f32; m.rows];
+        m.spmv_reference(&x_host, &mut oracle);
+        verified = Some(rel_error(&oracle, &got) < 1e-4);
+        csum = Some(checksum);
+    }
+
+    Ok(AppRun {
+        name: "spmv/northup".into(),
+        report: rt.report(),
+        verified,
+        checksum: csum,
+    })
+}
+
+/// Power iteration on an out-of-core matrix: repeated `y = A x` passes with
+/// host-side normalization between them (the dominant-eigenvalue workload
+/// that motivates out-of-core SpMV — each iteration re-streams the matrix,
+/// §VI's low-reuse case). Returns the dominant eigenvalue estimate and the
+/// run. Real mode only (needs the actual matrix).
+pub fn power_iteration_northup(
+    m: &Csr,
+    iterations: usize,
+    tree: northup::Tree,
+) -> Result<(f64, AppRun)> {
+    assert_eq!(m.rows, m.cols, "power iteration needs a square matrix");
+    let rt = Runtime::new(tree, ExecMode::Real)?;
+    let rows = m.rows as u64;
+    let geoms = shard_geometry(&SpmvInput::Matrix(m.clone()));
+
+    let root = rt.tree().root();
+    let rp_file = rt.alloc((rows + 1) * 4, root)?;
+    let ci_file = rt.alloc(m.nnz() as u64 * 4, root)?;
+    let va_file = rt.alloc(m.nnz() as u64 * 4, root)?;
+    let rp: Vec<u8> = m
+        .row_ptr
+        .iter()
+        .flat_map(|&v| (v as u32).to_le_bytes())
+        .collect();
+    rt.write_slice(rp_file, 0, &rp)?;
+    let ci: Vec<u8> = m.col_idx.iter().flat_map(|&v| v.to_le_bytes()).collect();
+    rt.write_slice(ci_file, 0, &ci)?;
+    rt.write_slice(va_file, 0, &f32s_to_bytes(&m.vals))?;
+
+    let stage_node = *rt.tree().children(root).first().expect("staging level");
+    let cpu_node = stage_node;
+    let gpu = rt
+        .tree()
+        .node(stage_node)
+        .procs
+        .iter()
+        .find(|p| p.kind == ProcKind::Gpu)
+        .expect("power iteration runs at an APU leaf");
+    let gpu_model = gpu_spmv_model(&gpu.name);
+
+    // x stays resident at the staging level across iterations; y is
+    // produced there and becomes the next x after normalization.
+    let x_stage = rt.alloc(rows * 4, stage_node)?;
+    let y_stage = rt.alloc(rows * 4, stage_node)?;
+    let mut x_host = vec![1.0f32 / (m.rows as f32).sqrt(); m.rows];
+    rt.write_slice(x_stage, 0, &f32s_to_bytes(&x_host))?;
+
+    let mut eigenvalue = 0.0f64;
+    for it in 0..iterations {
+        let mut y_host = vec![0.0f32; m.rows];
+        for (idx, g) in geoms.iter().enumerate() {
+            let [rp_s, ci_s, va_s, y_s] = {
+                let rp_s = rt.alloc(g.rp_bytes(), stage_node)?;
+                let ci_s = rt.alloc(g.ci_bytes(), stage_node)?;
+                let va_s = rt.alloc(g.va_bytes(), stage_node)?;
+                let y_s = rt.alloc(g.y_bytes(), stage_node)?;
+                rt.move_data(rp_s, 0, rp_file, g.row_start * 4, g.rp_bytes())?;
+                rt.move_data(ci_s, 0, ci_file, g.nnz_start * 4, g.ci_bytes())?;
+                rt.move_data(va_s, 0, va_file, g.nnz_start * 4, g.va_bytes())?;
+                [rp_s, ci_s, va_s, y_s]
+            };
+            let bin = binning_time(g.rows);
+            rt.charge_compute(cpu_node, ProcKind::Cpu, bin, &[rp_s], &[rp_s], "bin")?;
+            let dur = gpu_model.spmv_time(g.rows, g.nnz);
+            rt.charge_compute(
+                stage_node,
+                ProcKind::Gpu,
+                dur,
+                &[rp_s, ci_s, va_s, x_stage],
+                &[y_s],
+                &format!("spmv it{it} shard{idx}"),
+            )?;
+            let sub = m.slice_rows(g.row_start as usize, (g.row_start + g.rows) as usize);
+            let blocks = bin_rows(&sub, BinningParams::default());
+            let mut yv = vec![0.0f32; sub.rows];
+            spmv_adaptive(&sub, &blocks, &x_host, &mut yv);
+            y_host[g.row_start as usize..(g.row_start + g.rows) as usize]
+                .copy_from_slice(&yv);
+            rt.write_slice(y_s, 0, &f32s_to_bytes(&yv))?;
+            rt.move_data(
+                y_stage,
+                g.row_start * 4,
+                y_s,
+                0,
+                g.y_bytes(),
+            )?;
+            for h in [rp_s, ci_s, va_s, y_s] {
+                rt.release(h)?;
+            }
+        }
+        // Rayleigh quotient and normalization on the CPU.
+        let dot: f64 = x_host
+            .iter()
+            .zip(&y_host)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        eigenvalue = dot;
+        let norm = y_host.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+        let norm_dur = SimDur::from_secs_f64(rows as f64 * 4.0 / SPMV_REPACK_BW);
+        rt.charge_compute(cpu_node, ProcKind::Cpu, norm_dur, &[y_stage], &[x_stage], "normalize")?;
+        for (x, &y) in x_host.iter_mut().zip(&y_host) {
+            *x = (y as f64 / norm.max(1e-30)) as f32;
+        }
+        rt.write_slice(x_stage, 0, &f32s_to_bytes(&x_host))?;
+    }
+
+    Ok((
+        eigenvalue,
+        AppRun {
+            name: "spmv/power-iteration".into(),
+            report: rt.report(),
+            verified: None,
+            checksum: Some(eigenvalue),
+        },
+    ))
+}
+
+/// Degrade a storage device to CSR-Adaptive's effective bandwidth (see
+/// [`SPMV_IO_EFFICIENCY`]).
+pub fn spmv_storage(storage: northup_hw::DeviceSpec) -> northup_hw::DeviceSpec {
+    storage.scaled_bandwidth(SPMV_IO_EFFICIENCY)
+}
+
+/// Run the Northup SpMV over the 2-level APU preset. The storage spec is
+/// degraded by [`SPMV_IO_EFFICIENCY`] to model the variable-buffer I/O.
+pub fn spmv_apu(
+    input: &SpmvInput,
+    storage: northup_hw::DeviceSpec,
+    mode: ExecMode,
+) -> Result<AppRun> {
+    spmv_northup(input, northup::presets::apu_two_level(spmv_storage(storage)), mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup_hw::catalog;
+    use northup_sparse::gen;
+
+    fn small_matrix() -> Csr {
+        gen::powerlaw(600, 600, 128, 0.9, 42)
+    }
+
+    #[test]
+    fn northup_small_matches_reference() {
+        let input = SpmvInput::Matrix(small_matrix());
+        let run = spmv_apu(&input, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn northup_three_level_matches_reference() {
+        let input = SpmvInput::Matrix(gen::banded(500, 3, 7));
+        let tree = northup::presets::discrete_gpu_three_level(catalog::hdd_wd5000());
+        let run = spmv_northup(&input, tree, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn in_memory_baseline_verifies() {
+        let input = SpmvInput::Matrix(small_matrix());
+        let run = spmv_in_memory(&input, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn paper_scale_slowdowns_have_the_right_ordering() {
+        let input = SpmvInput::paper();
+        let base = spmv_in_memory(&input, ExecMode::Modeled).unwrap();
+        let ssd = spmv_apu(&input, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let hdd = spmv_apu(&input, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
+        let s_ssd = ssd.slowdown_vs(&base);
+        let s_hdd = hdd.slowdown_vs(&base);
+        assert!(s_ssd > 1.3, "spmv pays overheads on ssd: {s_ssd}");
+        assert!(s_hdd > s_ssd, "disk worse than ssd");
+    }
+
+    #[test]
+    fn power_iteration_finds_the_dominant_eigenvalue() {
+        // A diagonally dominant symmetric matrix: diag(i+1) on 64x64 plus a
+        // weak band; dominant eigenvalue is close to the largest diagonal.
+        let n = 64usize;
+        let mut triplets: Vec<(usize, u32, f32)> = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i as u32, (i + 1) as f32));
+            if i + 1 < n {
+                triplets.push((i, (i + 1) as u32, 0.1));
+                triplets.push((i + 1, i as u32, 0.1));
+            }
+        }
+        let m = Csr::from_coo(n, n, triplets);
+        let tree = northup::presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let (lambda, run) = power_iteration_northup(&m, 60, tree).unwrap();
+        assert!(
+            (lambda - 64.0).abs() < 0.5,
+            "dominant eigenvalue ~64, got {lambda}"
+        );
+        // Each iteration re-streams the matrix: I/O grows with iterations.
+        let io = run
+            .report
+            .io
+            .iter()
+            .find(|(name, _)| name == "hyperx-predator")
+            .map(|(_, t)| t.read_ops)
+            .unwrap();
+        assert!(io >= 60 * 4 * 3, "re-streamed every iteration: {io} ops");
+    }
+
+    #[test]
+    fn x_vector_stays_resident() {
+        // Only one read of the x region regardless of chunk count.
+        let input = SpmvInput::Matrix(small_matrix());
+        let run = spmv_apu(&input, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let ssd_io = run
+            .report
+            .io
+            .iter()
+            .find(|(n, _)| n == "hyperx-predator")
+            .map(|(_, t)| *t)
+            .unwrap();
+        // 3 reads per shard x 4 shards + 1 x read = 13 read ops.
+        assert_eq!(ssd_io.read_ops, 13, "{ssd_io:?}");
+        assert_eq!(ssd_io.write_ops, 4, "one y segment write per shard");
+    }
+}

@@ -1,0 +1,173 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * staging ring depth (how much double buffering buys) — §III-C's
+//!   multi-stage queues;
+//! * HotSpot temporal-blocking depth (compute/IO ratio knob) — §IV-B;
+//! * the §IV-A row-shard reuse (A re-loaded per tile vs kept staged);
+//! * NVM mapped as storage vs as memory (§II remapping);
+//! * layout-transforming move_data vs plain move + strided access (§VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup::{presets, ExecMode, NodeId, Runtime, Transform};
+use northup_apps::{hotspot_apu, matmul_apu, HotspotConfig, MatmulConfig};
+use northup_hw::catalog;
+
+fn ablation_ring_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-ring");
+    for ring in [2usize, 3, 4] {
+        let cfg = MatmulConfig {
+            ring,
+            ..MatmulConfig::paper()
+        };
+        let run = matmul_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
+        println!("ring {ring}: gemm hdd makespan {}", run.makespan());
+        group.bench_with_input(BenchmarkId::from_parameter(ring), &ring, |b, &ring| {
+            let cfg = MatmulConfig {
+                ring,
+                ..MatmulConfig::paper()
+            };
+            b.iter(|| {
+                matmul_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled)
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_temporal_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-temporal");
+    let mut last = f64::INFINITY;
+    for steps in [8usize, 16, 32, 64] {
+        let cfg = HotspotConfig {
+            steps_per_pass: steps,
+            passes: 64 / steps, // constant total simulated steps
+            ..HotspotConfig::paper()
+        };
+        let base =
+            northup_apps::hotspot_in_memory(&cfg, ExecMode::Modeled).unwrap();
+        let run = hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
+        let slowdown = run.slowdown_vs(&base);
+        println!("steps/pass {steps}: hotspot hdd slowdown {slowdown:.3}");
+        // Deeper temporal blocking amortizes I/O: slowdown must not grow.
+        assert!(slowdown <= last + 1e-9);
+        last = slowdown;
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let cfg = HotspotConfig {
+                steps_per_pass: steps,
+                passes: 64 / steps,
+                ..HotspotConfig::paper()
+            };
+            b.iter(|| {
+                hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled)
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_nvm_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-nvm");
+    let cfg = MatmulConfig::paper();
+    let as_storage = northup_apps::matmul::matmul_northup(
+        &cfg,
+        presets::apu_two_level(catalog::nvm_optane_like()),
+        ExecMode::Modeled,
+    )
+    .unwrap();
+    let as_memory = northup_apps::matmul::matmul_northup(
+        &cfg,
+        presets::apu_with_nvm_memory(),
+        ExecMode::Modeled,
+    )
+    .unwrap();
+    println!(
+        "nvm-as-storage {} vs nvm-as-memory {} (same part, different mapping)",
+        as_storage.makespan(),
+        as_memory.makespan()
+    );
+    for (name, tree) in [
+        ("as-storage", presets::apu_two_level(catalog::nvm_optane_like())),
+        ("as-memory", presets::apu_with_nvm_memory()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                northup_apps::matmul::matmul_northup(&cfg, tree.clone(), ExecMode::Modeled)
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_layout_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-transform");
+    // Moving a 64 MiB matrix down with an inline transpose vs moving raw
+    // bytes: the §VI extension charges the permute pass but saves the
+    // strided access on the consumer side.
+    let rows = 4096usize;
+    let cols = 4096usize;
+    for (name, transform) in [("plain", None), ("transpose", Some(Transform::RowToCol { rows, cols, elem: 4 }))] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let rt = Runtime::new(
+                    presets::apu_two_level(catalog::ssd_hyperx_predator()),
+                    ExecMode::Modeled,
+                )
+                .unwrap();
+                let bytes = (rows * cols * 4) as u64;
+                let src = rt.alloc(bytes, NodeId(0)).unwrap();
+                let dst = rt.alloc(bytes, NodeId(1)).unwrap();
+                match transform {
+                    Some(t) => rt.move_data_transform(dst, src, t).unwrap(),
+                    None => rt.move_data(dst, 0, src, 0, bytes).unwrap(),
+                };
+                rt.makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_spmv_layout(c: &mut Criterion) {
+    use northup_apps::layout::format_study;
+    use northup_sparse::gen;
+    let mut group = c.benchmark_group("ablation-spmv-layout");
+    let rows = format_study(&[
+        ("uniform", gen::uniform_random(3000, 3000, 16, 1)),
+        ("banded", gen::banded(4000, 4, 2)),
+        ("powerlaw", gen::powerlaw(3000, 3000, 2048, 0.9, 2)),
+    ])
+    .expect("format study");
+    for r in &rows {
+        println!(
+            "spmv layout [{}]: padding {:.2}x  csr {}  ell-on-migrate {}  winner {}",
+            r.input,
+            r.padding,
+            r.csr,
+            r.ell,
+            if r.ell_wins() { "ELL" } else { "CSR" }
+        );
+    }
+    // SVI: the right layout depends on the input.
+    assert!(rows[0].ell_wins() && !rows[2].ell_wins());
+    for r in rows {
+        let input = r.input.clone();
+        group.bench_function(&input, |b| b.iter(|| (r.csr, r.ell)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_ring_depth,
+    ablation_temporal_blocking,
+    ablation_nvm_mapping,
+    ablation_layout_transform,
+    ablation_spmv_layout
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 11 bench: CPU+GPU work-stealing speedups over GPU-only execution
+//! for the paper's three input points and 8/16/32 GPU queues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup_apps::balance::{fig11_absolute, fig11_speedup};
+use northup_bench::fig11;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+        for q in [8usize, 16, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("({m},{n})"), q),
+                &q,
+                |b, &q| b.iter(|| fig11_speedup(m, n, q)),
+            );
+        }
+    }
+    group.finish();
+
+    let bars = fig11();
+    println!("\nFig 11 series:");
+    for b in &bars {
+        println!(
+            "  ({},{}) q={:<2} speedup {:.3} makespan {}",
+            b.input.0, b.input.1, b.queues, b.speedup, b.absolute
+        );
+    }
+    // 32 queues is the best absolute configuration at every input point.
+    for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+        assert!(fig11_absolute(m, n, 32) < fig11_absolute(m, n, 8));
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

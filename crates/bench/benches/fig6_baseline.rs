@@ -1,0 +1,44 @@
+//! Fig. 6 bench: regenerates the in-memory vs SSD vs HDD comparison for
+//! all three applications and asserts the paper's shape on every sample.
+//! The measured quantity is the cost of one full deterministic model run
+//! per (app, storage) cell; the printed figure data comes from the
+//! `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup_bench::{fig6, run_in_memory, run_northup_apu, App};
+use northup_hw::catalog;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    for app in App::ALL {
+        group.bench_with_input(BenchmarkId::new("in-memory", app.label()), &app, |b, &app| {
+            b.iter(|| run_in_memory(app).unwrap().makespan())
+        });
+        group.bench_with_input(BenchmarkId::new("northup-ssd", app.label()), &app, |b, &app| {
+            b.iter(|| {
+                run_northup_apu(app, catalog::ssd_hyperx_predator())
+                    .unwrap()
+                    .makespan()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("northup-hdd", app.label()), &app, |b, &app| {
+            b.iter(|| {
+                run_northup_apu(app, catalog::hdd_wd5000())
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+
+    // Print the actual figure data once per bench run and check the shape.
+    let rows = fig6().expect("fig6");
+    println!("\nFig 6 series (slowdown vs in-memory):");
+    for r in &rows {
+        println!("  {:<14} ssd {:.3}  hdd {:.3}", r.app.label(), r.ssd, r.hdd);
+    }
+    assert!(rows[0].ssd < rows[1].ssd && rows[1].ssd < rows[2].ssd);
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

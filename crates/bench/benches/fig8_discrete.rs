@@ -1,0 +1,37 @@
+//! Fig. 8 bench: breakdown on the 3-level discrete-GPU tree (device memory,
+//! main memory, disk drive). The paper's shape — the transfer burden per
+//! unit of GPU work rises from matmul to hotspot to csr — is asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup_bench::{fig8, run_northup_discrete, App};
+use northup_hw::catalog;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    for app in App::ALL {
+        group.bench_with_input(BenchmarkId::new("3-level-hdd", app.label()), &app, |b, &app| {
+            b.iter(|| {
+                run_northup_discrete(app, catalog::hdd_wd5000())
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+
+    let rows = fig8().expect("fig8");
+    println!("\nFig 8 series (xfer share, xfer/gpu burden):");
+    for r in &rows {
+        println!(
+            "  {:<14} xfer {:.2}%  xfer/gpu {:.2}",
+            r.app.label(),
+            100.0 * r.xfer,
+            r.xfer / r.gpu.max(1e-12)
+        );
+    }
+    let burden: Vec<f64> = rows.iter().map(|r| r.xfer / r.gpu.max(1e-12)).collect();
+    assert!(burden[0] < burden[1] && burden[1] < burden[2]);
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

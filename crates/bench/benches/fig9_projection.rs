@@ -1,0 +1,47 @@
+//! Fig. 9 bench: the faster-storage sweep, via full model re-runs and via
+//! the paper's first-order projection, with monotonicity asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup_bench::{fig9, run_northup_apu, App};
+use northup_hw::catalog;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    for app in App::ALL {
+        for (r, w) in northup::FIG9_SWEEP {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-{}", r, w), app.label()),
+                &app,
+                |b, &app| {
+                    b.iter(|| {
+                        run_northup_apu(app, catalog::ssd_with_bandwidth(r, w))
+                            .unwrap()
+                            .makespan()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let series = fig9().expect("fig9");
+    println!("\nFig 9 series (io / overall normalized to 1400-600):");
+    for s in &series {
+        let last = s.points.last().unwrap();
+        println!(
+            "  {:<14} io -> {:.3} ({}% gain)  overall -> {:.3}  in-mem {:.3}",
+            s.app.label(),
+            last.io_norm,
+            (100.0 * (1.0 - last.io_norm)) as i64,
+            last.overall_norm,
+            s.in_memory_norm
+        );
+        for w in s.points.windows(2) {
+            assert!(w[1].io_norm <= w[0].io_norm + 1e-9);
+            assert!(w[1].overall_norm <= w[0].overall_norm + 1e-9);
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

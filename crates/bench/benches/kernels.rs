@@ -1,0 +1,150 @@
+//! Real-execution kernel microbenchmarks: the leaf kernels measured for
+//! actual wall-clock throughput (these are the only benches that measure
+//! real time rather than regenerate virtual-time figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use northup_exec::ThreadPool;
+use northup_kernels::{
+    gemm_flops, matmul_naive, matmul_packed, matmul_parallel, matmul_tiled, multi_step_blocked,
+    spmv_adaptive, DenseMatrix, HotSpotParams,
+};
+use northup_sparse::{bin_rows, gen, BinningParams};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let n = 192;
+    let a = DenseMatrix::random(n, n, 1);
+    let b = DenseMatrix::random(n, n, 2);
+    group.throughput(Throughput::Elements(gemm_flops(n as u64, n as u64, n as u64) as u64));
+    group.bench_function(BenchmarkId::new("naive", n), |bench| {
+        bench.iter(|| {
+            let mut cm = DenseMatrix::zeros(n, n);
+            matmul_naive(&a, &b, &mut cm);
+            cm.data[0]
+        })
+    });
+    for tile in [16usize, 32, 64] {
+        group.bench_function(BenchmarkId::new("tiled", tile), |bench| {
+            bench.iter(|| {
+                let mut cm = DenseMatrix::zeros(n, n);
+                matmul_tiled(&a, &b, &mut cm, tile);
+                cm.data[0]
+            })
+        });
+    }
+    group.bench_function("packed", |bench| {
+        bench.iter(|| {
+            let mut cm = DenseMatrix::zeros(n, n);
+            matmul_packed(&a, &b, &mut cm);
+            cm.data[0]
+        })
+    });
+    let pool = ThreadPool::with_default_threads();
+    group.bench_function(BenchmarkId::new("parallel", pool.threads()), |bench| {
+        bench.iter(|| {
+            let mut cm = DenseMatrix::zeros(n, n);
+            matmul_parallel(&pool, &a, &b, &mut cm);
+            cm.data[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot");
+    let n = 256;
+    let temp = DenseMatrix::random(n, n, 3);
+    let power = DenseMatrix::random(n, n, 4);
+    let prm = HotSpotParams::default();
+    group.throughput(Throughput::Elements((n * n) as u64));
+    for steps in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("blocked", steps), |bench| {
+            bench.iter(|| multi_step_blocked(&temp, &power, 64, steps, &prm).data[0])
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for (name, m) in [
+        ("uniform", gen::uniform_random(4000, 4000, 16, 1)),
+        ("powerlaw", gen::powerlaw(2000, 8000, 2048, 0.9, 2)),
+    ] {
+        let blocks = bin_rows(&m, BinningParams::default());
+        let x: Vec<f32> = (0..m.cols).map(|i| (i as f32 * 0.1).sin()).collect();
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        group.bench_function(BenchmarkId::new("adaptive", name), |bench| {
+            let mut y = vec![0.0f32; m.rows];
+            bench.iter(|| {
+                spmv_adaptive(&m, &blocks, &x, &mut y);
+                y[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deque(c: &mut Criterion) {
+    use northup_exec::deque::deque;
+    let mut group = c.benchmark_group("deque");
+    group.bench_function("push-pop", |bench| {
+        let (w, _s) = deque::<u64>(1024);
+        bench.iter(|| {
+            for i in 0..512u64 {
+                w.push(i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some(v) = w.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.bench_function("push-steal", |bench| {
+        let (w, s) = deque::<u64>(1024);
+        bench.iter(|| {
+            for i in 0..512u64 {
+                w.push(i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some(v) = s.steal_until_settled() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    // Real wall-clock scaling of the work-stealing pool on the stencil.
+    // NOTE: on a single-core host (like some CI machines) this measures
+    // oversubscription overhead, not speedup; on multicore hosts the
+    // 2/4/8-thread rows drop below the 1-thread row.
+    let mut group = c.benchmark_group("pool-scaling");
+    let n = 768;
+    let temp = DenseMatrix::random(n, n, 7);
+    let power = DenseMatrix::random(n, n, 8);
+    let prm = HotSpotParams::default();
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |bench| {
+            bench.iter(|| {
+                northup_kernels::multi_step_parallel(&pool, &temp, &power, 96, 4, &prm).data[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_stencil,
+    bench_spmv,
+    bench_deque,
+    bench_pool_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,599 @@
+//! # northup-bench — regeneration of every figure in the paper's evaluation
+//!
+//! One function per figure, all running the paper-scale **Modeled** runs
+//! (deterministic virtual time; see DESIGN.md §5 for the calibration).
+//! The `figures` binary prints each series; the Criterion benches under
+//! `benches/` wrap the same functions.
+//!
+//! | paper | function | what it shows |
+//! |---|---|---|
+//! | Fig. 6 | [`fig6`] | in-memory vs SSD vs HDD normalized runtime |
+//! | Fig. 7 | [`fig7`] | APU 2-level execution breakdown |
+//! | Fig. 8 | [`fig8`] | discrete-GPU 3-level breakdown |
+//! | Fig. 9 | [`fig9`] | faster-storage projection sweep |
+//! | Fig. 11 | [`fig11`] | CPU+GPU work-stealing speedups |
+//! | headline | [`headline`] | abstract's "average 17% slower than in-memory" |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use northup::{presets, ExecMode, NorthupError, RunReport, Runtime};
+use northup_apps::{
+    fig11_speedup, hotspot_apu, hotspot_in_memory, matmul_apu, matmul_in_memory, spmv_apu,
+    spmv_in_memory, AppRun, HotspotConfig, MatmulConfig, SpmvInput,
+};
+use northup_hw::{catalog, DeviceSpec};
+use northup_sim::{Category, SimDur};
+use serde::{Deserialize, Serialize};
+
+/// The three evaluated applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum App {
+    /// Dense matrix multiply (§IV-A).
+    Matmul,
+    /// HotSpot-2D stencil (§IV-B).
+    Hotspot,
+    /// CSR-Adaptive SpMV (§IV-C).
+    Spmv,
+}
+
+impl App {
+    /// All apps in figure order.
+    pub const ALL: [App; 3] = [App::Matmul, App::Hotspot, App::Spmv];
+
+    /// Label used in figure rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::Matmul => "dense-matmul",
+            App::Hotspot => "hotspot-2d",
+            App::Spmv => "csr-adaptive",
+        }
+    }
+}
+
+/// Run an app's in-memory baseline at paper scale.
+pub fn run_in_memory(app: App) -> Result<AppRun, NorthupError> {
+    match app {
+        App::Matmul => matmul_in_memory(&MatmulConfig::paper(), ExecMode::Modeled),
+        App::Hotspot => hotspot_in_memory(&HotspotConfig::paper(), ExecMode::Modeled),
+        App::Spmv => spmv_in_memory(&SpmvInput::paper(), ExecMode::Modeled),
+    }
+}
+
+/// Run an app's Northup out-of-core version on the 2-level APU tree with a
+/// given storage device.
+pub fn run_northup_apu(app: App, storage: DeviceSpec) -> Result<AppRun, NorthupError> {
+    match app {
+        App::Matmul => matmul_apu(&MatmulConfig::paper(), storage, ExecMode::Modeled),
+        App::Hotspot => hotspot_apu(&HotspotConfig::paper(), storage, ExecMode::Modeled),
+        App::Spmv => spmv_apu(&SpmvInput::paper(), storage, ExecMode::Modeled),
+    }
+}
+
+/// Run an app on the 3-level discrete-GPU tree.
+pub fn run_northup_discrete(app: App, storage: DeviceSpec) -> Result<AppRun, NorthupError> {
+    let tree = presets::discrete_gpu_three_level(storage.clone());
+    match app {
+        App::Matmul => {
+            northup_apps::matmul::matmul_northup(&MatmulConfig::paper(), tree, ExecMode::Modeled)
+        }
+        App::Hotspot => {
+            northup_apps::hotspot::hotspot_northup(&HotspotConfig::paper(), tree, ExecMode::Modeled)
+        }
+        App::Spmv => {
+            let tree = presets::discrete_gpu_three_level(northup_apps::spmv::spmv_storage(storage));
+            northup_apps::spmv::spmv_northup(&SpmvInput::paper(), tree, ExecMode::Modeled)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6
+// ---------------------------------------------------------------------------
+
+/// One Fig. 6 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Application.
+    pub app: App,
+    /// In-memory baseline makespan (normalization denominator).
+    pub in_memory: SimDur,
+    /// Northup + SSD normalized runtime.
+    pub ssd: f64,
+    /// Northup + HDD normalized runtime.
+    pub hdd: f64,
+}
+
+/// Regenerate Fig. 6: normalized runtime of in-memory vs Northup-SSD vs
+/// Northup-HDD on the APU.
+pub fn fig6() -> Result<Vec<Fig6Row>, NorthupError> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let base = run_in_memory(app)?;
+            let ssd = run_northup_apu(app, catalog::ssd_hyperx_predator())?;
+            let hdd = run_northup_apu(app, catalog::hdd_wd5000())?;
+            Ok(Fig6Row {
+                app,
+                in_memory: base.makespan(),
+                ssd: ssd.slowdown_vs(&base),
+                hdd: hdd.slowdown_vs(&base),
+            })
+        })
+        .collect()
+}
+
+/// Fig. 6 companion at the paper's larger 32k x 32k input (§V-A quotes
+/// both sizes). SpMV has a single paper-scale shape, so this covers the
+/// two dense apps.
+pub fn fig6_large() -> Result<Vec<Fig6Row>, NorthupError> {
+    let mut rows = Vec::new();
+    {
+        // At 32k the paper's 4k blocking no longer fits the staging ring;
+        // the SIII-B auto-planner picks the right one (2k).
+        let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let cfg = MatmulConfig::auto(&tree, 32 * 1024, 1)?;
+        let base = matmul_in_memory(&cfg, ExecMode::Modeled)?;
+        let ssd = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled)?;
+        let hdd = matmul_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled)?;
+        rows.push(Fig6Row {
+            app: App::Matmul,
+            in_memory: base.makespan(),
+            ssd: ssd.slowdown_vs(&base),
+            hdd: hdd.slowdown_vs(&base),
+        });
+    }
+    {
+        let cfg = HotspotConfig {
+            n: 32 * 1024,
+            ..HotspotConfig::paper()
+        };
+        let base = hotspot_in_memory(&cfg, ExecMode::Modeled)?;
+        let ssd = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Modeled)?;
+        let hdd = hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled)?;
+        rows.push(Fig6Row {
+            app: App::Hotspot,
+            in_memory: base.makespan(),
+            ssd: ssd.slowdown_vs(&base),
+            hdd: hdd.slowdown_vs(&base),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 7 and 8
+// ---------------------------------------------------------------------------
+
+/// One breakdown row (Figs. 7/8 bars): shares of summed busy time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Application.
+    pub app: App,
+    /// Storage device label.
+    pub storage: String,
+    /// CPU compute share.
+    pub cpu: f64,
+    /// GPU compute share.
+    pub gpu: f64,
+    /// Buffer setup share.
+    pub setup: f64,
+    /// File I/O + memcpy share.
+    pub io: f64,
+    /// Host<->device transfer share (the paper's "OpenCL transfers").
+    pub xfer: f64,
+    /// Makespan of the run.
+    pub makespan: SimDur,
+}
+
+fn breakdown_row(app: App, storage: &str, report: &RunReport) -> BreakdownRow {
+    let b = &report.breakdown;
+    BreakdownRow {
+        app,
+        storage: storage.to_string(),
+        cpu: b.share(Category::CpuCompute),
+        gpu: b.share(Category::GpuCompute),
+        setup: b.share(Category::BufferSetup),
+        io: b.share(Category::FileIo) + b.share(Category::MemCopy),
+        xfer: b.share(Category::DeviceTransfer),
+        makespan: b.makespan,
+    }
+}
+
+/// Regenerate Fig. 7: execution breakdown on the 2-level APU tree with HDD
+/// and SSD storages.
+pub fn fig7() -> Result<Vec<BreakdownRow>, NorthupError> {
+    let mut rows = Vec::new();
+    for &app in &App::ALL {
+        let hdd = run_northup_apu(app, catalog::hdd_wd5000())?;
+        rows.push(breakdown_row(app, "hdd", &hdd.report));
+    }
+    for &app in &App::ALL {
+        let ssd = run_northup_apu(app, catalog::ssd_hyperx_predator())?;
+        rows.push(breakdown_row(app, "ssd", &ssd.report));
+    }
+    Ok(rows)
+}
+
+/// Regenerate Fig. 8: breakdown on the 3-level discrete-GPU tree
+/// (GPU device memory, main memory, disk drive).
+pub fn fig8() -> Result<Vec<BreakdownRow>, NorthupError> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let run = run_northup_discrete(app, catalog::hdd_wd5000())?;
+            Ok(breakdown_row(app, "hdd(3-level)", &run.report))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9
+// ---------------------------------------------------------------------------
+
+/// One point of the Fig. 9 sweep for one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Point {
+    /// (read, write) MB/s of the projected SSD.
+    pub bw: (u64, u64),
+    /// I/O time normalized to the 1400/600 base case (re-run model).
+    pub io_norm: f64,
+    /// Overall runtime normalized to the base case (re-run model).
+    pub overall_norm: f64,
+    /// Overall normalized, via the paper's first-order projection instead
+    /// of a re-run (cross-check column).
+    pub overall_first_order: f64,
+}
+
+/// Fig. 9 series for one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Series {
+    /// Application.
+    pub app: App,
+    /// Sweep points, slowest first.
+    pub points: Vec<Fig9Point>,
+    /// The in-memory Δ reference, normalized to the base case.
+    pub in_memory_norm: f64,
+}
+
+/// Regenerate Fig. 9: I/O and overall performance with faster storage,
+/// normalized to the entry SSD, with the in-memory Δ points.
+pub fn fig9() -> Result<Vec<Fig9Series>, NorthupError> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let base = run_northup_apu(app, catalog::ssd_with_bandwidth(1400, 600))?;
+            let base_io = base.report.breakdown.get(Category::FileIo);
+            let base_overall = base.makespan();
+            let base_device = "ssd-1400-600".to_string();
+            let mut points = Vec::new();
+            for &(r, w) in &northup::FIG9_SWEEP {
+                let run = run_northup_apu(app, catalog::ssd_with_bandwidth(r, w))?;
+                let io = run.report.breakdown.get(Category::FileIo);
+                // The first-order replay must use the *effective* bandwidth
+                // the app sees (CSR-Adaptive's variable buffers degrade it).
+                let mut point = northup_hw::BwPoint::from_mb_s(r, w);
+                if app == App::Spmv {
+                    point.read_bw *= northup_apps::calibration::SPMV_IO_EFFICIENCY;
+                    point.write_bw *= northup_apps::calibration::SPMV_IO_EFFICIENCY;
+                }
+                let fo = northup::project_run(&base.report, &base_device, point);
+                points.push(Fig9Point {
+                    bw: (r, w),
+                    io_norm: io.as_secs_f64() / base_io.as_secs_f64().max(1e-12),
+                    overall_norm: run.makespan().as_secs_f64() / base_overall.as_secs_f64(),
+                    overall_first_order: fo.overall.as_secs_f64() / base_overall.as_secs_f64(),
+                });
+            }
+            let in_mem = run_in_memory(app)?;
+            Ok(Fig9Series {
+                app,
+                points,
+                in_memory_norm: in_mem.makespan().as_secs_f64() / base_overall.as_secs_f64(),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11
+// ---------------------------------------------------------------------------
+
+/// One Fig. 11 bar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Bar {
+    /// Input point (m, n): grid dim on SSD, chunk dim in DRAM.
+    pub input: (usize, usize),
+    /// GPU queue count.
+    pub queues: usize,
+    /// Speedup of CPU+GPU stealing over GPU-only at the same queue count.
+    pub speedup: f64,
+    /// Absolute makespan of the stealing configuration.
+    pub absolute: SimDur,
+}
+
+/// Regenerate Fig. 11: work-stealing speedups for the three input points
+/// and 8/16/32 GPU queues.
+pub fn fig11() -> Vec<Fig11Bar> {
+    let mut bars = Vec::new();
+    for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+        for q in [8usize, 16, 32] {
+            bars.push(Fig11Bar {
+                input: (m, n),
+                queues: q,
+                speedup: fig11_speedup(m, n, q),
+                absolute: northup_apps::balance::fig11_absolute(m, n, q),
+            });
+        }
+    }
+    bars
+}
+
+// ---------------------------------------------------------------------------
+// Discussion study: explicit management vs transparent caching (§VI)
+// ---------------------------------------------------------------------------
+
+/// Result of the §VI caching study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachingStudy {
+    /// One streaming pass over `stream_mb`: (transparent cache, Northup
+    /// explicit HDD, cache hit rate).
+    pub streaming: (SimDur, SimDur, f64),
+    /// `passes` passes over a `reuse_mb` working set that fits the cache:
+    /// (transparent cache, Northup explicit with an SSD level, hit rate).
+    pub reuse: (SimDur, SimDur, f64),
+}
+
+/// Compare the §VI baseline — an SSD acting as a transparent LRU cache over
+/// the HDD — against Northup's explicitly managed hierarchy, on a streaming
+/// workload (no reuse) and a high-reuse workload.
+pub fn caching_study() -> Result<CachingStudy, NorthupError> {
+    use northup_hw::CachedDevice;
+    use northup_sim::SimTime;
+
+    let block = 1u64 << 20;
+    let cache_bytes = 256u64 << 20;
+
+    // --- Streaming: one pass over 1 GiB, no reuse. ---
+    let stream_mb = 1024u64;
+    let mut cached = CachedDevice::new(
+        catalog::ssd_hyperx_predator(),
+        catalog::hdd_wd5000(),
+        block,
+        cache_bytes,
+    );
+    let mut t = SimTime::ZERO;
+    for mb in 0..stream_mb {
+        t = cached.read(t, mb << 20, 1 << 20).end;
+    }
+    let cached_stream = t.since(SimTime::ZERO);
+    let stream_hit_rate = cached.stats().hit_rate();
+
+    // Northup explicit: stream straight off the HDD into DRAM, pipelined.
+    let rt = Runtime::new(
+        presets::apu_two_level(catalog::hdd_wd5000()),
+        ExecMode::Modeled,
+    )?;
+    let file = rt.alloc(stream_mb << 20, rt.tree().root())?;
+    let stage = [
+        rt.alloc(1 << 20, northup::NodeId(1))?,
+        rt.alloc(1 << 20, northup::NodeId(1))?,
+    ];
+    for mb in 0..stream_mb {
+        rt.move_data(stage[(mb % 2) as usize], 0, file, mb << 20, 1 << 20)?;
+    }
+    let explicit_stream = rt.makespan();
+
+    // --- Reuse: 8 passes over 128 MiB (fits the cache). ---
+    let reuse_mb = 128u64;
+    let passes = 8u64;
+    let mut cached = CachedDevice::new(
+        catalog::ssd_hyperx_predator(),
+        catalog::hdd_wd5000(),
+        block,
+        cache_bytes,
+    );
+    let mut t = SimTime::ZERO;
+    for _ in 0..passes {
+        for mb in 0..reuse_mb {
+            t = cached.read(t, mb << 20, 1 << 20).end;
+        }
+    }
+    let cached_reuse = t.since(SimTime::ZERO);
+    let reuse_hit_rate = cached.stats().hit_rate();
+
+    // Northup explicit with an SSD level: HDD -> SSD once, then every pass
+    // streams from the SSD (Northup *knows* the working set is reused, so
+    // it pins it one level up — no per-block fills, no tag checks).
+    let mut b = northup::TreeBuilder::new(catalog::hdd_wd5000());
+    let ssd = b.add_child(northup::NodeId(0), catalog::ssd_hyperx_predator(), catalog::dram_dma_link());
+    let dram = b.add_child(ssd, catalog::dram_staging_2gb(), catalog::dram_dma_link());
+    b.attach_processor(
+        dram,
+        northup::ProcessorDesc::new(northup::ProcKind::Gpu, "apu-gpu", 1 << 20),
+    );
+    let rt = Runtime::new(b.build(), ExecMode::Modeled)?;
+    let file = rt.alloc(reuse_mb << 20, rt.tree().root())?;
+    let pinned = rt.alloc(reuse_mb << 20, ssd)?;
+    rt.move_data(pinned, 0, file, 0, reuse_mb << 20)?;
+    let stage = [
+        rt.alloc(1 << 20, dram)?,
+        rt.alloc(1 << 20, dram)?,
+    ];
+    for p in 0..passes {
+        for mb in 0..reuse_mb {
+            rt.move_data(stage[((p * reuse_mb + mb) % 2) as usize], 0, pinned, mb << 20, 1 << 20)?;
+        }
+    }
+    let explicit_reuse = rt.makespan();
+
+    Ok(CachingStudy {
+        streaming: (cached_stream, explicit_stream, stream_hit_rate),
+        reuse: (cached_reuse, explicit_reuse, reuse_hit_rate),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Headline
+// ---------------------------------------------------------------------------
+
+/// The abstract's headline: per-app gap between Northup (fast SSD) and
+/// in-memory processing, and their average (paper: 5%, 15%, 30% -> ~17%).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// Per-app (label, gap) where gap = slowdown - 1.
+    pub gaps: Vec<(String, f64)>,
+    /// Mean gap.
+    pub average: f64,
+}
+
+/// Compute the headline number at the fast end of the Fig. 9 sweep
+/// (3500/2100 MB/s), where the paper's 5/15/30% gaps are quoted (§V-D).
+pub fn headline() -> Result<Headline, NorthupError> {
+    let mut gaps = Vec::new();
+    for &app in &App::ALL {
+        let base = run_in_memory(app)?;
+        let fast = run_northup_apu(app, catalog::ssd_with_bandwidth(3500, 2100))?;
+        gaps.push((app.label().to_string(), fast.slowdown_vs(&base) - 1.0));
+    }
+    let average = gaps.iter().map(|(_, g)| g).sum::<f64>() / gaps.len() as f64;
+    Ok(Headline { gaps, average })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let rows = fig6().unwrap();
+        assert_eq!(rows.len(), 3);
+        let m = &rows[0];
+        let h = &rows[1];
+        let s = &rows[2];
+        // GEMM least slowed; CSR most slowed on SSD; HDD >= SSD everywhere.
+        assert!(m.ssd < h.ssd && h.ssd < s.ssd, "{rows:?}");
+        for r in &rows {
+            assert!(r.hdd >= r.ssd * 0.999, "{r:?}");
+            assert!(r.ssd >= 1.0);
+        }
+        // GEMM hides I/O nearly completely.
+        assert!(m.ssd < 1.15, "{}", m.ssd);
+    }
+
+    #[test]
+    fn fig6_large_preserves_the_shape() {
+        let rows = fig6_large().unwrap();
+        assert_eq!(rows.len(), 2);
+        // The 32k GEMM is even more compute-bound than 16k: I/O still hides.
+        assert!(rows[0].ssd < 1.1, "{rows:?}");
+        assert!(rows[1].hdd > rows[1].ssd);
+    }
+
+    #[test]
+    fn fig7_shares_sum_to_one() {
+        for row in fig7().unwrap() {
+            let sum = row.cpu + row.gpu + row.setup + row.io + row.xfer;
+            assert!((sum - 1.0).abs() < 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn fig7_gpu_share_rises_with_ssd() {
+        let rows = fig7().unwrap();
+        for &app in &App::ALL {
+            let hdd = rows
+                .iter()
+                .find(|r| r.app == app && r.storage == "hdd")
+                .unwrap();
+            let ssd = rows
+                .iter()
+                .find(|r| r.app == app && r.storage == "ssd")
+                .unwrap();
+            assert!(
+                ssd.gpu > hdd.gpu,
+                "{}: gpu share {} -> {}",
+                app.label(),
+                hdd.gpu,
+                ssd.gpu
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_transfer_burden_ordered_like_paper() {
+        // Paper: OpenCL transfers 7% / 12% / 33% for matmul / hotspot / csr —
+        // the transfer burden grows from matmul to csr. On our disk-backed
+        // 3-level tree the file I/O dominates the absolute shares, so the
+        // robust paper shape is the transfer time *relative to GPU compute*
+        // (bytes moved per unit of useful work), which must increase
+        // strictly from matmul to hotspot to csr.
+        let rows = fig8().unwrap();
+        let ratio: Vec<f64> = rows.iter().map(|r| r.xfer / r.gpu.max(1e-12)).collect();
+        assert!(ratio[0] < ratio[1], "{ratio:?}");
+        assert!(ratio[1] < ratio[2], "{ratio:?}");
+        assert!(rows.iter().all(|r| r.xfer > 0.0));
+    }
+
+    #[test]
+    fn fig9_monotone_and_bounded_by_in_memory() {
+        for series in fig9().unwrap() {
+            for w in series.points.windows(2) {
+                assert!(w[1].io_norm <= w[0].io_norm + 1e-9, "{series:?}");
+                assert!(w[1].overall_norm <= w[0].overall_norm + 1e-9);
+                assert!(w[1].overall_first_order <= w[0].overall_first_order + 1e-9);
+            }
+            assert!(
+                (series.points[0].overall_norm - 1.0).abs() < 1e-9,
+                "base point is the normalization"
+            );
+            // In-memory is the performance upper bound (paper §V-D).
+            let fastest = series.points.last().unwrap();
+            assert!(series.in_memory_norm <= fastest.overall_norm + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig11_has_nine_bars_and_32_is_best_absolute() {
+        let bars = fig11();
+        assert_eq!(bars.len(), 9);
+        for input in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
+            let abs: Vec<SimDur> = bars
+                .iter()
+                .filter(|b| b.input == input)
+                .map(|b| b.absolute)
+                .collect();
+            assert!(abs[2] < abs[1] && abs[1] < abs[0], "{input:?}: {abs:?}");
+        }
+    }
+
+    #[test]
+    fn caching_study_matches_the_papers_argument() {
+        let study = caching_study().unwrap();
+        // Streaming (no reuse): the transparent cache pays fill overhead
+        // for nothing — Northup's explicit streaming is faster.
+        let (cached, explicit, hit) = study.streaming;
+        assert_eq!(hit, 0.0, "streaming never reuses a block");
+        assert!(
+            explicit < cached,
+            "explicit {explicit} should beat cache {cached} on streaming"
+        );
+        // High reuse: both approaches serve from the SSD after the cold
+        // pass; explicit management is at least as fast (no per-block
+        // fill+re-read overhead).
+        let (cached, explicit, hit) = study.reuse;
+        assert!(hit > 0.8, "reuse workload mostly hits: {hit}");
+        assert!(
+            explicit <= cached,
+            "explicit {explicit} should match/beat cache {cached} on reuse"
+        );
+    }
+
+    #[test]
+    fn headline_average_is_moderate() {
+        let h = headline().unwrap();
+        assert_eq!(h.gaps.len(), 3);
+        // Paper: 17% average. Our model should land within a loose band.
+        assert!((0.02..0.60).contains(&h.average), "{h:?}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The reusable multi-stage chunk pipeline (paper §III-C).
+//!
+//! "We also support task queues to keep track of the progress of data
+//! movement for individual chunks ... This enables multi-stage data
+//! transfer and better parallelism. Whenever the space of lower memory
+//! levels is freed, more chunks can be scheduled for movement."
+//!
+//! Every Northup application repeats the same discipline: a ring of
+//! staging-buffer slots, loads for chunk *t+1* issued before chunk *t*'s
+//! compute and write-back (so the storage device streams ahead instead of
+//! head-of-line blocking behind result writes), and write-after-read
+//! hazards bounding how far ahead the ring may run. [`ChunkPipeline`]
+//! packages that pattern so new applications get correct pipelining for
+//! free.
+
+use crate::data::BufferHandle;
+use crate::error::Result;
+use crate::runtime::Runtime;
+use crate::topology::NodeId;
+
+/// A ring of staging slots at one tree node, each slot holding one buffer
+/// per configured size.
+///
+/// ```
+/// use northup::{presets, ChunkPipeline, ExecMode, NodeId, ProcKind, Runtime};
+/// use northup_hw::catalog;
+/// use northup_sim::SimDur;
+///
+/// let rt = Runtime::new(
+///     presets::apu_two_level(catalog::ssd_hyperx_predator()),
+///     ExecMode::Real,
+/// ).unwrap();
+/// let file = rt.alloc(4096, NodeId(0)).unwrap();
+///
+/// let pipe = ChunkPipeline::new(&rt, NodeId(1), 2, &[1024]).unwrap();
+/// let chunks: Vec<u64> = (0..4).collect();
+/// pipe.run(
+///     &chunks,
+///     |&i, bufs| { rt.move_data(bufs[0], 0, file, i * 1024, 1024)?; Ok(()) },
+///     |_, bufs| {
+///         rt.charge_compute(NodeId(1), ProcKind::Gpu, SimDur::from_micros(50),
+///                           &[bufs[0]], &[], "kernel")?;
+///         Ok(())
+///     },
+/// ).unwrap();
+/// pipe.release().unwrap();
+/// ```
+pub struct ChunkPipeline<'rt> {
+    rt: &'rt Runtime,
+    node: NodeId,
+    ring: usize,
+    /// `slots[r][k]` = buffer `k` of ring slot `r`.
+    slots: Vec<Vec<BufferHandle>>,
+}
+
+impl<'rt> ChunkPipeline<'rt> {
+    /// Allocate `ring` slots (min 2 — prefetch needs double buffering) of
+    /// one buffer per entry of `buf_sizes` on `node`.
+    pub fn new(rt: &'rt Runtime, node: NodeId, ring: usize, buf_sizes: &[u64]) -> Result<Self> {
+        let ring = ring.max(2);
+        let mut slots = Vec::with_capacity(ring);
+        for _ in 0..ring {
+            let bufs = buf_sizes
+                .iter()
+                .map(|&s| rt.alloc(s, node))
+                .collect::<Result<Vec<_>>>()?;
+            slots.push(bufs);
+        }
+        Ok(ChunkPipeline {
+            rt,
+            node,
+            ring,
+            slots,
+        })
+    }
+
+    /// The staging node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Ring depth.
+    pub fn ring(&self) -> usize {
+        self.ring
+    }
+
+    /// Drive `items` through the pipeline: `load(item, slot)` stages the
+    /// item's inputs; `work(item, slot)` computes and writes back. Loads for
+    /// item *t+1* are issued before `work(t)`, which is what lets the
+    /// storage device stream ahead. Slot reuse hazards (a load overwriting
+    /// a slot still being read) are handled by the runtime's dataflow
+    /// dependencies.
+    pub fn run<T>(
+        &self,
+        items: &[T],
+        mut load: impl FnMut(&T, &[BufferHandle]) -> Result<()>,
+        mut work: impl FnMut(&T, &[BufferHandle]) -> Result<()>,
+    ) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        load(&items[0], &self.slots[0])?;
+        for (t, item) in items.iter().enumerate() {
+            if t + 1 < items.len() {
+                load(&items[t + 1], &self.slots[(t + 1) % self.ring])?;
+            }
+            work(item, &self.slots[t % self.ring])?;
+        }
+        Ok(())
+    }
+
+    /// Release every staged buffer.
+    pub fn release(self) -> Result<()> {
+        for slot in self.slots {
+            for b in slot {
+                self.rt.release(b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::runtime::ExecMode;
+    use crate::topology::ProcKind;
+    use northup_hw::catalog;
+    use northup_sim::SimDur;
+
+    fn rt() -> Runtime {
+        Runtime::new(
+            presets::apu_two_level(catalog::ssd_hyperx_predator()),
+            ExecMode::Real,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_visits_every_item_in_order() {
+        let rt = rt();
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 2, &[64]).unwrap();
+        let items: Vec<u32> = (0..7).collect();
+        let loaded = std::cell::RefCell::new(Vec::new());
+        let worked = std::cell::RefCell::new(Vec::new());
+        pipe.run(
+            &items,
+            |&i, _| {
+                loaded.borrow_mut().push(i);
+                Ok(())
+            },
+            |&i, _| {
+                worked.borrow_mut().push(i);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(worked.into_inner(), items);
+        assert_eq!(loaded.into_inner(), items, "each item loaded exactly once");
+        pipe.release().unwrap();
+    }
+
+    #[test]
+    fn loads_run_one_item_ahead_of_work() {
+        let rt = rt();
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 2, &[16]).unwrap();
+        let events = std::cell::RefCell::new(Vec::new());
+        pipe.run(
+            &[0, 1, 2],
+            |&i, _| {
+                events.borrow_mut().push(format!("load{i}"));
+                Ok(())
+            },
+            |&i, _| {
+                events.borrow_mut().push(format!("work{i}"));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            events.into_inner(),
+            vec!["load0", "load1", "work0", "load2", "work1", "work2"]
+        );
+    }
+
+    #[test]
+    fn pipelined_chunks_overlap_io_and_compute() {
+        // The whole point: with the pipeline, total time ~ max(io, compute),
+        // not their sum.
+        let rt = rt();
+        let chunk = 50_000_000u64; // ~36 ms SSD read each
+        let file = rt.alloc(chunk * 6, NodeId(0)).unwrap();
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 2, &[chunk]).unwrap();
+        let items: Vec<u64> = (0..6).collect();
+        let compute = SimDur::from_millis(35);
+        pipe.run(
+            &items,
+            |&i, bufs| {
+                rt.move_data(bufs[0], 0, file, i * chunk, chunk)?;
+                Ok(())
+            },
+            |_, bufs| {
+                rt.charge_compute(NodeId(1), ProcKind::Gpu, compute, &[bufs[0]], &[], "k")?;
+                Ok(())
+            },
+        )
+        .unwrap();
+        let makespan = rt.makespan().as_secs_f64();
+        let io = 6.0 * (chunk as f64 / 1.4e9);
+        let comp = 6.0 * compute.as_secs_f64();
+        let serial = io + comp;
+        assert!(
+            makespan < 0.75 * serial,
+            "makespan {makespan:.3} vs serial {serial:.3}"
+        );
+        assert!(makespan >= io.max(comp) - 1e-9);
+    }
+
+    #[test]
+    fn ring_is_clamped_to_double_buffering() {
+        let rt = rt();
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 1, &[8, 8]).unwrap();
+        assert_eq!(pipe.ring(), 2);
+        assert_eq!(pipe.node(), NodeId(1));
+        pipe.release().unwrap();
+    }
+
+    #[test]
+    fn empty_item_list_is_a_noop() {
+        let rt = rt();
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 2, &[8]).unwrap();
+        pipe.run(
+            &[] as &[u32],
+            |_, _| panic!("no loads"),
+            |_, _| panic!("no work"),
+        )
+        .unwrap();
+        pipe.release().unwrap();
+    }
+
+    #[test]
+    fn release_returns_all_capacity() {
+        let rt = rt();
+        let before = rt.available(NodeId(1));
+        let pipe = ChunkPipeline::new(&rt, NodeId(1), 3, &[1024, 2048]).unwrap();
+        assert_eq!(rt.available(NodeId(1)), before - 3 * (1024 + 2048));
+        pipe.release().unwrap();
+        assert_eq!(rt.available(NodeId(1)), before);
+    }
+}

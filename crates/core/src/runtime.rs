@@ -1,0 +1,366 @@
+//! The Northup runtime: tree + backends + virtual-time resources.
+//!
+//! A [`Runtime`] binds a [`Tree`] to storage backends (where bytes live) and
+//! to `northup-sim` resources (when operations finish). Every data-management
+//! call (see `data.rs`) both *performs* the operation on real bytes and
+//! *schedules* it in virtual time with dataflow dependencies, so compute/IO
+//! overlap emerges exactly as it would from the paper's multi-stage task
+//! queues (§III-C) without wall-clock measurement.
+
+use crate::dag::{DagRecorder, TaskDag};
+use crate::data::BufInfo;
+use crate::error::{NorthupError, Result};
+use crate::topology::{NodeId, ProcKind, Tree};
+use northup_hw::{
+    FileBackend, HeapBackend, IoTracker, PhantomBackend, StorageBackend, StorageClass,
+};
+use northup_sim::{Breakdown, Category, Resource, SimDur, SimTime, Timeline};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How data operations execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real bytes: heap buffers and real scratch files; kernels compute real
+    /// results. Used by tests, examples and small-scale runs.
+    Real,
+    /// Capacity accounting only: buffers are phantom, byte movement is
+    /// skipped, and only virtual time is charged. Used for paper-scale
+    /// figure runs (a 32k x 32k float matrix is 4 GiB).
+    Modeled,
+}
+
+/// Per-storage-class fixed costs of buffer setup/teardown (file open/close
+/// + metadata, malloc, clCreateBuffer/clReleaseMemObject). These feed the
+/// "buffer setup" category of the paper's Figs. 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetupCosts {
+    /// File allocation (open + create).
+    pub file_alloc: SimDur,
+    /// File release (close + unlink bookkeeping).
+    pub file_release: SimDur,
+    /// Host-memory allocation.
+    pub mem_alloc: SimDur,
+    /// Host-memory release.
+    pub mem_release: SimDur,
+    /// Device-buffer allocation.
+    pub dev_alloc: SimDur,
+    /// Device-buffer release.
+    pub dev_release: SimDur,
+}
+
+impl Default for SetupCosts {
+    fn default() -> Self {
+        SetupCosts {
+            file_alloc: SimDur::from_micros(300),
+            file_release: SimDur::from_micros(100),
+            mem_alloc: SimDur::from_micros(20),
+            mem_release: SimDur::from_micros(5),
+            dev_alloc: SimDur::from_micros(100),
+            dev_release: SimDur::from_micros(50),
+        }
+    }
+}
+
+impl SetupCosts {
+    /// Alloc cost for a storage class.
+    pub fn alloc(&self, class: StorageClass) -> SimDur {
+        match class {
+            StorageClass::File => self.file_alloc,
+            StorageClass::Memory => self.mem_alloc,
+            StorageClass::Device => self.dev_alloc,
+        }
+    }
+
+    /// Release cost for a storage class.
+    pub fn release(&self, class: StorageClass) -> SimDur {
+        match class {
+            StorageClass::File => self.file_release,
+            StorageClass::Memory => self.mem_release,
+            StorageClass::Device => self.dev_release,
+        }
+    }
+}
+
+pub(crate) struct RtInner {
+    pub backends: Vec<Box<dyn StorageBackend>>,
+    /// Per-node device resource (serves this node's own reads/writes/copies).
+    pub node_res: Vec<Resource>,
+    /// Per-node resource of the edge to the parent (None at the root).
+    pub link_res: Vec<Option<Resource>>,
+    /// Per-node, per-attached-processor resources.
+    pub proc_res: Vec<Vec<Resource>>,
+    pub buffers: HashMap<u64, BufInfo>,
+    pub next_handle: u64,
+    pub timeline: Timeline,
+    pub io: IoTracker,
+    /// Per-node count of recursive tasks spawned through it (the work-queue
+    /// bookkeeping of Listing 1).
+    pub spawned: Vec<u64>,
+    /// Per-node current recursion depth occupancy.
+    pub active: Vec<u64>,
+    /// Optional §III-C dependency-graph recorder.
+    pub dag: Option<DagRecorder>,
+}
+
+impl RtInner {
+    /// Record an operation into the DAG, if recording is enabled.
+    pub(crate) fn dag_record(
+        &mut self,
+        label: &str,
+        category: northup_sim::Category,
+        duration: SimDur,
+        reads: &[crate::data::BufferHandle],
+        writes: &[crate::data::BufferHandle],
+    ) {
+        if let Some(dag) = self.dag.as_mut() {
+            dag.record(label, category, duration, reads, writes);
+        }
+    }
+}
+
+/// Hook for substituting custom storage backends per node (fault
+/// injection, instrumented devices, novel memories). Return `None` to use
+/// the default backend for the node's class and execution mode.
+pub type BackendFactory<'a> =
+    dyn Fn(&crate::topology::Node) -> Option<Box<dyn StorageBackend>> + 'a;
+
+/// The Northup runtime.
+pub struct Runtime {
+    tree: Tree,
+    mode: ExecMode,
+    setup: SetupCosts,
+    pub(crate) inner: Mutex<RtInner>,
+}
+
+impl Runtime {
+    /// Create a runtime over `tree` in the given execution mode.
+    pub fn new(tree: Tree, mode: ExecMode) -> Result<Self> {
+        Self::with_setup_costs(tree, mode, SetupCosts::default())
+    }
+
+    /// Create a runtime with custom buffer setup costs.
+    pub fn with_setup_costs(tree: Tree, mode: ExecMode, setup: SetupCosts) -> Result<Self> {
+        Self::with_custom_backends(tree, mode, setup, &|_| None)
+    }
+
+    /// Create a runtime substituting custom backends where `factory`
+    /// returns one (an extension point for fault injection and novel
+    /// device models).
+    pub fn with_custom_backends(
+        tree: Tree,
+        mode: ExecMode,
+        setup: SetupCosts,
+        factory: &BackendFactory<'_>,
+    ) -> Result<Self> {
+        let mut backends: Vec<Box<dyn StorageBackend>> = Vec::with_capacity(tree.len());
+        let mut node_res = Vec::with_capacity(tree.len());
+        let mut link_res = Vec::with_capacity(tree.len());
+        let mut proc_res = Vec::with_capacity(tree.len());
+        for node in tree.nodes() {
+            let spec = &node.mem;
+            let backend: Box<dyn StorageBackend> = match factory(node) {
+                Some(custom) => custom,
+                None => match mode {
+                    ExecMode::Modeled => Box::new(PhantomBackend::new(&spec.name, spec.capacity)),
+                    ExecMode::Real => match spec.class {
+                        StorageClass::File => Box::new(
+                            FileBackend::new(&spec.name, spec.capacity).map_err(NorthupError::Hw)?,
+                        ),
+                        _ => Box::new(HeapBackend::new(&spec.name, spec.capacity)),
+                    },
+                },
+            };
+            backends.push(backend);
+            node_res.push(Resource::new(&spec.name, spec.read_bw, SimDur::ZERO));
+            link_res.push(
+                node.link
+                    .as_ref()
+                    .map(|l| Resource::new(&l.name, l.bandwidth, l.latency)),
+            );
+            proc_res.push(
+                node.procs
+                    .iter()
+                    .map(|p| Resource::new_compute(&p.name))
+                    .collect(),
+            );
+        }
+        let n = tree.len();
+        Ok(Runtime {
+            tree,
+            mode,
+            setup,
+            inner: Mutex::new(RtInner {
+                backends,
+                node_res,
+                link_res,
+                proc_res,
+                buffers: HashMap::new(),
+                next_handle: 0,
+                timeline: Timeline::with_spans(),
+                io: IoTracker::new(),
+                spawned: vec![0; n],
+                active: vec![0; n],
+                dag: None,
+            }),
+        })
+    }
+
+    /// The topology.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The configured setup costs.
+    pub fn setup_costs(&self) -> SetupCosts {
+        self.setup
+    }
+
+    /// Whether real bytes move (Real mode).
+    pub fn is_real(&self) -> bool {
+        self.mode == ExecMode::Real
+    }
+
+    /// Locate the index of a processor of `kind` on `node`.
+    pub(crate) fn proc_index(&self, node: NodeId, kind: ProcKind) -> Result<usize> {
+        self.tree
+            .node(node)
+            .procs
+            .iter()
+            .position(|p| p.kind == kind)
+            .ok_or(NorthupError::NoProcessor(node))
+    }
+
+    /// Record a recursive spawn through `node` (work-queue bookkeeping).
+    pub(crate) fn note_spawn(&self, node: NodeId) {
+        let mut g = self.inner.lock();
+        g.spawned[node.0] += 1;
+        g.active[node.0] += 1;
+    }
+
+    /// Record a recursive task retiring at `node`.
+    pub(crate) fn note_retire(&self, node: NodeId) {
+        let mut g = self.inner.lock();
+        g.active[node.0] = g.active[node.0].saturating_sub(1);
+    }
+
+    /// Total recursive tasks ever spawned through `node` (queue statistics,
+    /// §V-E: "examining the status of a subsystem can be easily accomplished
+    /// by checking the queue associated with the root of a subtree").
+    pub fn tasks_spawned(&self, node: NodeId) -> u64 {
+        self.inner.lock().spawned[node.0]
+    }
+
+    /// Recursive tasks currently in flight at `node`.
+    pub fn tasks_active(&self, node: NodeId) -> u64 {
+        self.inner.lock().active[node.0]
+    }
+
+    /// Snapshot the execution report so far.
+    pub fn report(&self) -> RunReport {
+        let g = self.inner.lock();
+        let breakdown = g.timeline.breakdown();
+        let io: Vec<(String, northup_hw::IoTotals)> = g
+            .io
+            .devices()
+            .map(|(name, t)| (name.to_string(), t))
+            .collect();
+        let utilization = g
+            .node_res
+            .iter()
+            .map(|r| (r.name().to_string(), r.stats()))
+            .collect();
+        RunReport {
+            breakdown,
+            io,
+            utilization,
+        }
+    }
+
+    /// Current per-device I/O totals for one device name.
+    pub fn io_totals(&self, device: &str) -> northup_hw::IoTotals {
+        self.inner.lock().io.totals(device)
+    }
+
+    /// Current virtual makespan (latest finish of anything scheduled).
+    pub fn makespan(&self) -> SimDur {
+        self.inner.lock().timeline.makespan()
+    }
+
+    /// Export the recorded activity spans as Chrome trace-event JSON
+    /// (open in `chrome://tracing` / Perfetto) — one track per category.
+    pub fn chrome_trace(&self) -> String {
+        self.inner.lock().timeline.chrome_trace()
+    }
+
+    /// Virtual time at which a node's device resource frees up (used by
+    /// branch schedulers to estimate where a new chunk would finish first,
+    /// §V-E: "examining the status of a subsystem").
+    pub fn node_busy_until(&self, node: NodeId) -> SimTime {
+        self.inner.lock().node_res[node.0].busy_until()
+    }
+
+    /// Virtual time at which a processor of `kind` on `node` frees up.
+    pub fn proc_busy_until(&self, node: NodeId, kind: ProcKind) -> Result<SimTime> {
+        let pi = self.proc_index(node, kind)?;
+        Ok(self.inner.lock().proc_res[node.0][pi].busy_until())
+    }
+
+    /// Start recording the task dependency graph (paper §III-C future
+    /// work: "the recursive tree can be further unfolded to a dependency
+    /// graph"). Operations issued after this call are captured.
+    pub fn enable_dag(&self) {
+        let mut g = self.inner.lock();
+        if g.dag.is_none() {
+            g.dag = Some(DagRecorder::default());
+        }
+    }
+
+    /// Snapshot the recorded task DAG (empty if recording was not enabled).
+    pub fn task_dag(&self) -> TaskDag {
+        self.inner
+            .lock()
+            .dag
+            .as_ref()
+            .map(|d| d.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Record an explicit runtime-overhead span (tree lookups, queue
+    /// management). The paper measures total runtime overhead < 1% (§V-B).
+    pub fn charge_runtime(&self, at_least: SimDur, label: &str) {
+        let mut g = self.inner.lock();
+        let start = SimTime::ZERO;
+        let end = start + at_least;
+        g.timeline.record(start, end, Category::Runtime, label);
+    }
+}
+
+/// Execution report: the material of the paper's Figs. 6–8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-category busy times + makespan.
+    pub breakdown: Breakdown,
+    /// Per-device I/O totals (bytes and ops).
+    pub io: Vec<(String, northup_hw::IoTotals)>,
+    /// Per-node device resource utilization.
+    pub utilization: Vec<(String, northup_sim::ResourceStats)>,
+}
+
+impl RunReport {
+    /// Total runtime (virtual makespan).
+    pub fn makespan(&self) -> SimDur {
+        self.breakdown.makespan
+    }
+
+    /// Fraction of summed busy time in a category (Figs. 7/8 bars).
+    pub fn share(&self, c: Category) -> f64 {
+        self.breakdown.share(c)
+    }
+}

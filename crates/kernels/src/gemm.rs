@@ -1,0 +1,289 @@
+//! Dense matrix multiply kernels (paper §IV-A).
+//!
+//! The paper extends "an optimized, tiled version of GPU dense matrix
+//! multiply" to out-of-core execution; at the leaf, the GPU kernel uses
+//! per-compute-unit local memory with a 16x16 blocking. Our real kernels:
+//!
+//! * [`matmul_naive`] — the textbook triple loop, the correctness oracle;
+//! * [`matmul_tiled`] — cache-blocked ikj kernel with a fixed tile (the
+//!   single-threaded leaf kernel, structurally the LDS-tiled GPU kernel);
+//! * [`matmul_parallel`] — the tiled kernel parallelized over row bands on
+//!   the work-stealing pool (the in-memory baseline's real execution).
+//!
+//! All compute `C += A * B` so the out-of-core accumulation over k-shards
+//! ("first computing partial results ... then accumulate the partial sums",
+//! §IV-A) uses the same kernels.
+
+use crate::dense::DenseMatrix;
+use northup_exec::ThreadPool;
+
+/// Leaf tile edge, matching the paper's 16x16 GPU local-memory blocking.
+pub const LEAF_TILE: usize = 16;
+
+/// `c += a * b`, naive triple loop.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    check_dims(a, b, c);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += a * b`, blocked with `tile x tile` tiles (ikj inside tiles).
+///
+/// # Panics
+/// Panics on dimension mismatch or `tile == 0`.
+pub fn matmul_tiled(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix, tile: usize) {
+    check_dims(a, b, c);
+    assert!(tile > 0, "tile must be positive");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i0 in (0..m).step_by(tile) {
+        let i1 = (i0 + tile).min(m);
+        for k0 in (0..k).step_by(tile) {
+            let k1 = (k0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let j1 = (j0 + tile).min(n);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let av = a.get(i, kk);
+                        let brow = &b.data[kk * n + j0..kk * n + j1];
+                        let crow = &mut c.data[i * n + j0..i * n + j1];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Micro-kernel geometry for [`matmul_packed`].
+const MR: usize = 4;
+const NR: usize = 8;
+
+/// `c += a * b` with BLIS-style packing and a register-blocked MRxNR
+/// micro-kernel: B is packed into NR-wide column panels and A into MR-wide
+/// row panels so the inner loop runs over contiguous memory with an
+/// accumulator block the compiler keeps in registers.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_packed(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    check_dims(a, b, c);
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    const KC: usize = 256;
+    let mut b_panel = vec![0.0f32; KC * NR];
+    let mut a_panel = vec![0.0f32; MR * KC];
+
+    for k0 in (0..k).step_by(KC) {
+        let kb = KC.min(k - k0);
+        for j0 in (0..n).step_by(NR) {
+            let jb = NR.min(n - j0);
+            // Pack B(k0..k0+kb, j0..j0+jb) as kb rows of NR (zero-padded).
+            for kk in 0..kb {
+                let src = (k0 + kk) * n + j0;
+                for jj in 0..NR {
+                    b_panel[kk * NR + jj] = if jj < jb { b.data[src + jj] } else { 0.0 };
+                }
+            }
+            for i0 in (0..m).step_by(MR) {
+                let ib = MR.min(m - i0);
+                // Pack A(i0..i0+ib, k0..k0+kb) as kb columns of MR.
+                for kk in 0..kb {
+                    for ii in 0..MR {
+                        a_panel[kk * MR + ii] = if ii < ib {
+                            a.data[(i0 + ii) * k + k0 + kk]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                // Micro-kernel: acc[MR][NR] += a_panel * b_panel.
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..kb {
+                    let bp = &b_panel[kk * NR..kk * NR + NR];
+                    let ap = &a_panel[kk * MR..kk * MR + MR];
+                    for (ii, &av) in ap.iter().enumerate() {
+                        let row = &mut acc[ii];
+                        for (jj, &bv) in bp.iter().enumerate() {
+                            row[jj] += av * bv;
+                        }
+                    }
+                }
+                // Unpack into C.
+                for ii in 0..ib {
+                    let dst = (i0 + ii) * n + j0;
+                    for jj in 0..jb {
+                        c.data[dst + jj] += acc[ii][jj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `c += a * b` parallelized over row bands of `C` on the pool.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_parallel(pool: &ThreadPool, a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    check_dims(a, b, c);
+    let n = b.cols;
+    let band = (a.rows / (pool.threads() * 4)).max(LEAF_TILE);
+    let a_ref: &DenseMatrix = a;
+    let b_ref: &DenseMatrix = b;
+    // Split C into disjoint row bands, one task per band.
+    let mut bands: Vec<(usize, &mut [f32])> = Vec::new();
+    let mut rest: &mut [f32] = &mut c.data;
+    let mut row = 0usize;
+    while row < a.rows {
+        let rows_here = band.min(a.rows - row);
+        let (head, tail) = rest.split_at_mut(rows_here * n);
+        bands.push((row, head));
+        rest = tail;
+        row += rows_here;
+    }
+    pool.scope(|s| {
+        for (row0, band_data) in bands {
+            s.spawn(move || {
+                let rows_here = band_data.len() / n;
+                let mut cb = DenseMatrix {
+                    rows: rows_here,
+                    cols: n,
+                    data: band_data.to_vec(),
+                };
+                let ab = a_ref.extract_block(row0, 0, rows_here, a_ref.cols);
+                matmul_tiled(&ab, b_ref, &mut cb, 64);
+                band_data.copy_from_slice(&cb.data);
+            });
+        }
+    });
+}
+
+fn check_dims(a: &DenseMatrix, b: &DenseMatrix, c: &DenseMatrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions differ");
+    assert_eq!(c.rows, a.rows, "C rows mismatch");
+    assert_eq!(c.cols, b.cols, "C cols mismatch");
+}
+
+/// FLOPs of `C += A(m x k) * B(k x n)`.
+pub fn gemm_flops(m: u64, n: u64, k: u64) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mats(m: usize, k: usize, n: usize) -> (DenseMatrix, DenseMatrix) {
+        (DenseMatrix::random(m, k, 1), DenseMatrix::random(k, n, 2))
+    }
+
+    #[test]
+    fn tiled_matches_naive() {
+        for &(m, k, n, tile) in &[(5usize, 7usize, 3usize, 2usize), (16, 16, 16, 16), (33, 20, 17, 8)] {
+            let (a, b) = mats(m, k, n);
+            let mut c1 = DenseMatrix::zeros(m, n);
+            let mut c2 = DenseMatrix::zeros(m, n);
+            matmul_naive(&a, &b, &mut c1);
+            matmul_tiled(&a, &b, &mut c2, tile);
+            assert!(c1.max_abs_diff(&c2) < 1e-4, "({m},{k},{n},{tile})");
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive() {
+        for &(m, k, n) in &[(4usize, 8usize, 8usize), (5, 7, 3), (64, 64, 64), (33, 100, 17)] {
+            let (a, b) = mats(m, k, n);
+            let mut c1 = DenseMatrix::zeros(m, n);
+            let mut c2 = DenseMatrix::zeros(m, n);
+            matmul_naive(&a, &b, &mut c1);
+            matmul_packed(&a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < 1e-3, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn packed_accumulates_into_nonzero_c() {
+        let (a, b) = mats(9, 9, 9);
+        let mut c = DenseMatrix::from_fn(9, 9, |r, _| r as f32);
+        let mut expect = c.clone();
+        matmul_naive(&a, &b, &mut expect);
+        matmul_packed(&a, &b, &mut c);
+        assert!(expect.max_abs_diff(&c) < 1e-3);
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        let pool = ThreadPool::new(4);
+        let (a, b) = mats(70, 45, 52);
+        let mut c1 = DenseMatrix::zeros(70, 52);
+        let mut c2 = DenseMatrix::zeros(70, 52);
+        matmul_naive(&a, &b, &mut c1);
+        matmul_parallel(&pool, &a, &b, &mut c2);
+        assert!(c1.max_abs_diff(&c2) < 1e-4);
+    }
+
+    #[test]
+    fn accumulation_over_k_shards_matches_single_call() {
+        // The out-of-core schedule multiplies k-slices and accumulates;
+        // verify the decomposition identity C = sum_s A[:,s] * B[s,:].
+        let (a, b) = mats(12, 20, 9);
+        let mut whole = DenseMatrix::zeros(12, 9);
+        matmul_naive(&a, &b, &mut whole);
+
+        let mut acc = DenseMatrix::zeros(12, 9);
+        for s in 0..4 {
+            let a_sh = a.extract_block(0, s * 5, 12, 5);
+            let b_sh = b.extract_block(s * 5, 0, 5, 9);
+            matmul_tiled(&a_sh, &b_sh, &mut acc, 4);
+        }
+        assert!(whole.max_abs_diff(&acc) < 1e-4);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = DenseMatrix::random(6, 6, 3);
+        let eye = DenseMatrix::from_fn(6, 6, |r, c| if r == c { 1.0 } else { 0.0 });
+        let mut c = DenseMatrix::zeros(6, 6);
+        matmul_tiled(&a, &eye, &mut c, 4);
+        assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+
+    #[test]
+    fn accumulates_into_nonzero_c() {
+        let (a, b) = mats(4, 4, 4);
+        let mut c = DenseMatrix::from_fn(4, 4, |_, _| 1.0);
+        let mut expect = DenseMatrix::from_fn(4, 4, |_, _| 1.0);
+        matmul_naive(&a, &b, &mut expect);
+        matmul_tiled(&a, &b, &mut c, 16);
+        assert!(expect.max_abs_diff(&c) < 1e-5);
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(10, 10, 10), 2000.0);
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let a = DenseMatrix::zeros(0, 5);
+        let b = DenseMatrix::zeros(5, 3);
+        let mut c = DenseMatrix::zeros(0, 3);
+        matmul_tiled(&a, &b, &mut c, 8);
+        assert_eq!(c.data.len(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # northup-kernels — leaf compute kernels + device cost models
+//!
+//! The paper's leaf computation is OpenCL on AMD GPUs: a tiled GEMM [17],
+//! Rodinia's HotSpot-2D [18], and CSR-Adaptive SpMV [20]. This crate
+//! implements all three **for real** (results are verified against naive
+//! references and across decompositions) and pairs them with first-order
+//! **cost models** of the paper's devices so the runtime can charge virtual
+//! time for what the OpenCL kernel would have cost:
+//!
+//! * [`dense`] — row-major `f32` matrices with block extract/insert.
+//! * [`gemm`] — naive / tiled / pool-parallel `C += A·B` (§IV-A).
+//! * [`stencil`] — HotSpot-2D with halo extraction and exact temporal
+//!   blocking (§IV-B generalizes the packed border vectors to width > 1).
+//! * [`spmv`] — CSR-Stream / CSR-Vector / CSR-VectorL kernels dispatched by
+//!   the CSR-Adaptive binning (§IV-C).
+//! * [`model`] — roofline [`ProcModel`]s for the APU GPU/CPU and the
+//!   W9100-class discrete GPU, the CPU binning rate, and the Fig. 11
+//!   queue-count latency-hiding curve.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+pub mod gemm;
+pub mod model;
+pub mod spmv;
+pub mod stencil;
+
+pub use dense::{bytes_to_f32s, f32s_to_bytes, DenseMatrix};
+pub use gemm::{gemm_flops, matmul_naive, matmul_packed, matmul_parallel, matmul_tiled, LEAF_TILE};
+pub use model::{binning_time, latency_hiding_efficiency, ProcModel, BINNING_ROWS_PER_SEC};
+pub use spmv::{rel_error, spmv_adaptive, spmv_adaptive_parallel, WG_LANES};
+pub use stencil::{
+    extract_halo_block, multi_step_blocked, multi_step_parallel, multi_step_reference,
+    step_halo_block, step_reference, HaloBlock, HotSpotParams, FLOPS_PER_CELL,
+};

@@ -1,0 +1,255 @@
+//! CSR-Adaptive SpMV kernels (paper §IV-C, Greathouse & Daga [20]).
+//!
+//! Each binned row block is processed by the kernel its
+//! [`BlockKind`](northup_sparse::BlockKind) selects:
+//!
+//! * **CSR-Stream** — one workgroup stages the block's entire nnz range in
+//!   local memory, then rows reduce out of it. We reproduce the two-phase
+//!   structure (stream products into a scratch buffer, then per-row reduce)
+//!   so the memory-access pattern and FP summation order match the GPU
+//!   algorithm.
+//! * **CSR-Vector** — the workgroup's lanes stride one long row and combine
+//!   with a tree reduction; we reproduce the lane-strided partial sums and
+//!   the tree combine.
+//! * **CSR-VectorL** — like Vector but partial sums accumulate across
+//!   multiple workgroup-sized segments.
+
+use northup_exec::ThreadPool;
+use northup_sparse::{BlockKind, Csr, RowBlock};
+
+/// Simulated workgroup width (lanes) for Vector kernels.
+pub const WG_LANES: usize = 64;
+
+/// CSR-Stream: process rows `[block.row_start, block.row_end)`.
+pub fn spmv_stream(m: &Csr, block: &RowBlock, x: &[f32], y: &mut [f32]) {
+    // Phase 1: stream all products of the block into scratch (the LDS).
+    let lo = m.row_ptr[block.row_start];
+    let hi = m.row_ptr[block.row_end];
+    let mut scratch = Vec::with_capacity(hi - lo);
+    for i in lo..hi {
+        scratch.push(m.vals[i] * x[m.col_idx[i] as usize]);
+    }
+    // Phase 2: per-row reduction out of the scratch buffer.
+    for r in block.row_start..block.row_end {
+        let a = m.row_ptr[r] - lo;
+        let b = m.row_ptr[r + 1] - lo;
+        let mut acc = 0.0f32;
+        for v in &scratch[a..b] {
+            acc += v;
+        }
+        y[r] = acc;
+    }
+}
+
+/// CSR-Vector: one long row, lane-strided partials + tree reduction.
+pub fn spmv_vector(m: &Csr, block: &RowBlock, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(block.row_end - block.row_start, 1);
+    let r = block.row_start;
+    let lo = m.row_ptr[r];
+    let hi = m.row_ptr[r + 1];
+    let mut lanes = [0.0f32; WG_LANES];
+    for (k, i) in (lo..hi).enumerate() {
+        lanes[k % WG_LANES] += m.vals[i] * x[m.col_idx[i] as usize];
+    }
+    y[r] = tree_reduce(&lanes);
+}
+
+/// CSR-VectorL: one very long row, segment-wise Vector passes accumulated.
+pub fn spmv_vector_long(m: &Csr, block: &RowBlock, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(block.row_end - block.row_start, 1);
+    let r = block.row_start;
+    let lo = m.row_ptr[r];
+    let hi = m.row_ptr[r + 1];
+    let seg = WG_LANES * 16; // elements per cooperating workgroup
+    let mut acc = 0.0f32;
+    let mut s = lo;
+    while s < hi {
+        let e = (s + seg).min(hi);
+        let mut lanes = [0.0f32; WG_LANES];
+        for (k, i) in (s..e).enumerate() {
+            lanes[k % WG_LANES] += m.vals[i] * x[m.col_idx[i] as usize];
+        }
+        acc += tree_reduce(&lanes); // the GPU's cross-workgroup atomic add
+        s = e;
+    }
+    y[r] = acc;
+}
+
+fn tree_reduce(lanes: &[f32; WG_LANES]) -> f32 {
+    let mut buf = *lanes;
+    let mut width = WG_LANES / 2;
+    while width > 0 {
+        for i in 0..width {
+            buf[i] += buf[i + width];
+        }
+        width /= 2;
+    }
+    buf[0]
+}
+
+/// Dispatch every row block to its kernel: the full CSR-Adaptive SpMV.
+pub fn spmv_adaptive(m: &Csr, blocks: &[RowBlock], x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), m.cols);
+    assert_eq!(y.len(), m.rows);
+    for b in blocks {
+        match b.kind {
+            BlockKind::Stream => spmv_stream(m, b, x, y),
+            BlockKind::Vector => spmv_vector(m, b, x, y),
+            BlockKind::VectorLong => spmv_vector_long(m, b, x, y),
+        }
+    }
+}
+
+/// Parallel CSR-Adaptive over row blocks on the work-stealing pool. Row
+/// blocks own disjoint `y` ranges, so the output splits cleanly per task.
+pub fn spmv_adaptive_parallel(
+    pool: &ThreadPool,
+    m: &Csr,
+    blocks: &[RowBlock],
+    x: &[f32],
+    y: &mut [f32],
+) {
+    assert_eq!(x.len(), m.cols);
+    assert_eq!(y.len(), m.rows);
+    // Split y into per-block disjoint slices (blocks tile rows in order).
+    let mut slices: Vec<(&RowBlock, &mut [f32])> = Vec::with_capacity(blocks.len());
+    let mut rest = y;
+    let mut row = 0usize;
+    for b in blocks {
+        debug_assert_eq!(b.row_start, row);
+        let (head, tail) = rest.split_at_mut(b.row_end - b.row_start);
+        slices.push((b, head));
+        rest = tail;
+        row = b.row_end;
+    }
+    pool.scope(|s| {
+        for (b, y_slice) in slices {
+            s.spawn(move || {
+                // Kernels write into global row coordinates; use a local
+                // temporary sized to the block.
+                let mut tmp = vec![0.0f32; m.rows];
+                match b.kind {
+                    BlockKind::Stream => spmv_stream(m, b, x, &mut tmp),
+                    BlockKind::Vector => spmv_vector(m, b, x, &mut tmp),
+                    BlockKind::VectorLong => spmv_vector_long(m, b, x, &mut tmp),
+                }
+                y_slice.copy_from_slice(&tmp[b.row_start..b.row_end]);
+            });
+        }
+    });
+}
+
+/// Relative error between two vectors (inf-norm of the difference over the
+/// inf-norm of the reference, guarding the zero vector).
+pub fn rel_error(reference: &[f32], got: &[f32]) -> f32 {
+    assert_eq!(reference.len(), got.len());
+    let scale = reference
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f32, f32::max)
+        .max(1e-20);
+    reference
+        .iter()
+        .zip(got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max)
+        / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup_sparse::{bin_rows, gen, BinningParams};
+
+    fn check_adaptive(m: &Csr, params: BinningParams) {
+        let blocks = bin_rows(m, params);
+        let x: Vec<f32> = (0..m.cols).map(|i| ((i % 13) as f32 - 6.0) * 0.25).collect();
+        let mut reference = vec![0.0f32; m.rows];
+        m.spmv_reference(&x, &mut reference);
+        let mut y = vec![f32::NAN; m.rows];
+        spmv_adaptive(m, &blocks, &x, &mut y);
+        assert!(
+            rel_error(&reference, &y) < 1e-4,
+            "adaptive mismatch: {}",
+            rel_error(&reference, &y)
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_reference_on_uniform() {
+        check_adaptive(
+            &gen::uniform_random(300, 500, 9, 1),
+            BinningParams::default(),
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_reference_on_powerlaw() {
+        // Small thresholds force all three kernels to run.
+        let m = gen::powerlaw(400, 3000, 2048, 0.8, 5);
+        let p = BinningParams {
+            stream_nnz: 64,
+            vector_long_nnz: 512,
+        };
+        let blocks = bin_rows(&m, p);
+        let kinds = northup_sparse::kind_histogram(&blocks);
+        assert!(kinds.iter().all(|&k| k > 0), "need all kernels: {kinds:?}");
+        check_adaptive(&m, p);
+    }
+
+    #[test]
+    fn adaptive_matches_reference_on_banded_and_fem() {
+        check_adaptive(&gen::banded(200, 4, 2), BinningParams::default());
+        check_adaptive(&gen::laplace_2d(20, 18), BinningParams::default());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let m = gen::powerlaw(500, 2000, 1024, 0.9, 11);
+        let p = BinningParams {
+            stream_nnz: 128,
+            vector_long_nnz: 600,
+        };
+        let blocks = bin_rows(&m, p);
+        let x: Vec<f32> = (0..m.cols).map(|i| (i as f32 * 0.01).sin()).collect();
+        let mut seq = vec![0.0f32; m.rows];
+        spmv_adaptive(&m, &blocks, &x, &mut seq);
+        let mut par = vec![0.0f32; m.rows];
+        spmv_adaptive_parallel(&pool, &m, &blocks, &x, &mut par);
+        assert_eq!(seq, par, "identical kernels => bitwise identical results");
+    }
+
+    #[test]
+    fn vector_kernel_handles_exact_lane_multiples() {
+        let triplets: Vec<(usize, u32, f32)> =
+            (0..(WG_LANES as u32 * 2)).map(|c| (0usize, c, 0.5f32)).collect();
+        let m = Csr::from_coo(1, WG_LANES * 2, triplets);
+        let b = RowBlock {
+            row_start: 0,
+            row_end: 1,
+            nnz: WG_LANES * 2,
+            kind: BlockKind::Vector,
+        };
+        let x = vec![2.0f32; WG_LANES * 2];
+        let mut y = vec![0.0f32; 1];
+        spmv_vector(&m, &b, &x, &mut y);
+        assert!((y[0] - WG_LANES as f32 * 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::empty(10, 10);
+        let blocks = bin_rows(&m, BinningParams::default());
+        let x = vec![1.0f32; 10];
+        let mut y = vec![9.0f32; 10];
+        spmv_adaptive(&m, &blocks, &x, &mut y);
+        assert_eq!(y, vec![0.0f32; 10]);
+    }
+
+    #[test]
+    fn rel_error_guards_zero_reference() {
+        assert_eq!(rel_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!(rel_error(&[0.0], &[1.0]) > 1.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! HotSpot-2D thermal stencil (paper §IV-B, Rodinia's hotspot).
+//!
+//! Each step updates every cell of a temperature grid from its four
+//! neighbors and a per-cell power input:
+//!
+//! ```text
+//! T'(x,y) = T + step/cap * ( P(x,y)
+//!           + (T(x+1,y) + T(x-1,y) - 2T) / Rx
+//!           + (T(x,y+1) + T(x,y-1) - 2T) / Ry
+//!           + (Tamb - T) / Rz )
+//! ```
+//!
+//! Grid edges clamp (a cell's missing neighbor is itself), as in Rodinia.
+//!
+//! Out-of-core execution processes the grid in blocks. Each block is
+//! extracted *with a halo* of width `h` (the paper's packed border vectors,
+//! Fig. 4, generalized to width > 1) and the kernel advances `steps <= h`
+//! time steps locally, shrinking the valid region by one ring per step on
+//! non-boundary sides — classic temporal blocking. This trades extra halo
+//! bytes for `steps`-fold fewer passes over storage, which is exactly the
+//! compute/IO ratio knob the paper's out-of-core HotSpot configuration
+//! tunes with its blocking sizes.
+
+use crate::dense::DenseMatrix;
+use northup_exec::ThreadPool;
+use serde::{Deserialize, Serialize};
+
+/// Physical constants of the HotSpot model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotSpotParams {
+    /// Coefficient of the x-direction diffusion term (`step/(cap*Rx)`).
+    pub cx: f32,
+    /// Coefficient of the y-direction diffusion term.
+    pub cy: f32,
+    /// Coefficient of the vertical (ambient) leakage term.
+    pub cz: f32,
+    /// Coefficient applied to the power input (`step/cap`).
+    pub cp: f32,
+    /// Ambient temperature.
+    pub t_amb: f32,
+}
+
+impl Default for HotSpotParams {
+    /// Stable-diffusion defaults (coefficients sum below 1).
+    fn default() -> Self {
+        HotSpotParams {
+            cx: 0.15,
+            cy: 0.15,
+            cz: 0.05,
+            cp: 0.01,
+            t_amb: 80.0,
+        }
+    }
+}
+
+#[inline]
+fn update_cell(
+    t: &[f32],
+    p: &[f32],
+    cols: usize,
+    rows: usize,
+    x: usize,
+    y: usize,
+    prm: &HotSpotParams,
+) -> f32 {
+    let idx = y * cols + x;
+    let c = t[idx];
+    // Clamped neighbors: a missing neighbor is the cell itself.
+    let w = if x > 0 { t[idx - 1] } else { c };
+    let e = if x + 1 < cols { t[idx + 1] } else { c };
+    let n = if y > 0 { t[idx - cols] } else { c };
+    let s = if y + 1 < rows { t[idx + cols] } else { c };
+    c + prm.cp * p[idx]
+        + prm.cx * (e + w - 2.0 * c)
+        + prm.cy * (s + n - 2.0 * c)
+        + prm.cz * (prm.t_amb - c)
+}
+
+/// One full-grid step (the correctness oracle).
+pub fn step_reference(temp: &DenseMatrix, power: &DenseMatrix, prm: &HotSpotParams) -> DenseMatrix {
+    assert_eq!(temp.rows, power.rows);
+    assert_eq!(temp.cols, power.cols);
+    let mut out = DenseMatrix::zeros(temp.rows, temp.cols);
+    for y in 0..temp.rows {
+        for x in 0..temp.cols {
+            *out.get_mut(y, x) = update_cell(
+                &temp.data, &power.data, temp.cols, temp.rows, x, y, prm,
+            );
+        }
+    }
+    out
+}
+
+/// `steps` full-grid steps.
+pub fn multi_step_reference(
+    temp: &DenseMatrix,
+    power: &DenseMatrix,
+    steps: usize,
+    prm: &HotSpotParams,
+) -> DenseMatrix {
+    let mut cur = temp.clone();
+    for _ in 0..steps {
+        cur = step_reference(&cur, power, prm);
+    }
+    cur
+}
+
+/// A block of the grid extracted together with its halo.
+#[derive(Debug, Clone)]
+pub struct HaloBlock {
+    /// Temperatures of the extracted region (core + halo), row-major.
+    pub temp: DenseMatrix,
+    /// Power of the extracted region.
+    pub power: DenseMatrix,
+    /// Halo actually present on each side: [north, south, west, east].
+    /// A side whose halo is 0 coincides with the global grid boundary.
+    pub halo: [usize; 4],
+    /// Core block position in the global grid (top-left row, col).
+    pub core_origin: (usize, usize),
+    /// Core block size (rows, cols).
+    pub core_size: (usize, usize),
+}
+
+impl HaloBlock {
+    /// Bytes of halo data moved in addition to the core block — the paper's
+    /// compact border vectors ("we allocate vector buffers and pack the
+    /// border data in a contiguous manner", §IV-B).
+    pub fn border_bytes(&self) -> u64 {
+        let core = (self.core_size.0 * self.core_size.1) as u64;
+        (self.temp.data.len() as u64 - core) * 4
+    }
+}
+
+/// Extract the block at (`r0`, `c0`) of `h x w` cells with halo width
+/// `halo`, clipping the halo at the global grid boundary.
+///
+/// # Panics
+/// Panics if the core block exceeds the grid.
+pub fn extract_halo_block(
+    temp: &DenseMatrix,
+    power: &DenseMatrix,
+    r0: usize,
+    c0: usize,
+    h: usize,
+    w: usize,
+    halo: usize,
+) -> HaloBlock {
+    assert!(r0 + h <= temp.rows && c0 + w <= temp.cols, "core out of bounds");
+    let north = halo.min(r0);
+    let west = halo.min(c0);
+    let south = halo.min(temp.rows - (r0 + h));
+    let east = halo.min(temp.cols - (c0 + w));
+    let rr0 = r0 - north;
+    let cc0 = c0 - west;
+    let hh = h + north + south;
+    let ww = w + west + east;
+    HaloBlock {
+        temp: temp.extract_block(rr0, cc0, hh, ww),
+        power: power.extract_block(rr0, cc0, hh, ww),
+        halo: [north, south, west, east],
+        core_origin: (r0, c0),
+        core_size: (h, w),
+    }
+}
+
+/// Advance a halo block `steps` time steps and return the *core* region at
+/// time `t + steps`.
+///
+/// Exactness: each step shrinks the trusted region by one ring on sides
+/// with halo; sides without halo are true global boundaries where the
+/// clamped update *is* the correct boundary condition. Requires
+/// `steps <= halo` on every non-boundary side (checked).
+pub fn step_halo_block(block: &HaloBlock, steps: usize, prm: &HotSpotParams) -> DenseMatrix {
+    let [n, s, w, e] = block.halo;
+    for (side, &have) in ["north", "south", "west", "east"].iter().zip(&block.halo) {
+        assert!(
+            have == 0 || have >= steps,
+            "{side} halo {have} < steps {steps}"
+        );
+    }
+    let rows = block.temp.rows;
+    let cols = block.temp.cols;
+    let mut cur = block.temp.data.clone();
+    let mut next = vec![0.0f32; cur.len()];
+    for step in 0..steps {
+        // Trusted region after this step (ring `step+1` consumed on halo sides).
+        let y0 = if n == 0 { 0 } else { step + 1 }.min(rows);
+        let y1 = if s == 0 { rows } else { rows - (step + 1).min(rows) };
+        let x0 = if w == 0 { 0 } else { step + 1 }.min(cols);
+        let x1 = if e == 0 { cols } else { cols - (step + 1).min(cols) };
+        for y in y0..y1 {
+            for x in x0..x1 {
+                next[y * cols + x] =
+                    update_cell(&cur, &block.power.data, cols, rows, x, y, prm);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Extract the core.
+    let full = DenseMatrix {
+        rows,
+        cols,
+        data: cur,
+    };
+    full.extract_block(n, w, block.core_size.0, block.core_size.1)
+}
+
+/// One out-of-core "pass": advance the whole grid `steps` time steps by
+/// processing `block x block` tiles with halo `steps`. Sequential tile loop
+/// (the Northup runtime drives tiles through the tree instead; this is the
+/// in-memory equivalent used as oracle and baseline).
+pub fn multi_step_blocked(
+    temp: &DenseMatrix,
+    power: &DenseMatrix,
+    block: usize,
+    steps: usize,
+    prm: &HotSpotParams,
+) -> DenseMatrix {
+    assert!(block > 0);
+    let mut out = DenseMatrix::zeros(temp.rows, temp.cols);
+    for r0 in (0..temp.rows).step_by(block) {
+        let h = block.min(temp.rows - r0);
+        for c0 in (0..temp.cols).step_by(block) {
+            let w = block.min(temp.cols - c0);
+            let hb = extract_halo_block(temp, power, r0, c0, h, w, steps);
+            let core = step_halo_block(&hb, steps, prm);
+            out.insert_block(r0, c0, &core);
+        }
+    }
+    out
+}
+
+/// Parallel in-memory multi-step over tiles using the work-stealing pool.
+pub fn multi_step_parallel(
+    pool: &ThreadPool,
+    temp: &DenseMatrix,
+    power: &DenseMatrix,
+    block: usize,
+    steps: usize,
+    prm: &HotSpotParams,
+) -> DenseMatrix {
+    assert!(block > 0);
+    let rows = temp.rows;
+    let cols = temp.cols;
+    let tiles: Vec<(usize, usize, usize, usize)> = (0..rows)
+        .step_by(block)
+        .flat_map(|r0| {
+            let h = block.min(rows - r0);
+            (0..cols).step_by(block).map(move |c0| (r0, c0, h, 0))
+                .map(move |(r0, c0, h, _)| (r0, c0, h, block.min(cols - c0)))
+        })
+        .collect();
+    let mut results: Vec<Option<DenseMatrix>> = vec![None; tiles.len()];
+    pool.scope(|s| {
+        for (slot, &(r0, c0, h, w)) in results.iter_mut().zip(&tiles) {
+            s.spawn(move || {
+                let hb = extract_halo_block(temp, power, r0, c0, h, w, steps);
+                *slot = Some(step_halo_block(&hb, steps, prm));
+            });
+        }
+    });
+    let mut out = DenseMatrix::zeros(rows, cols);
+    for (core, &(r0, c0, _, _)) in results.into_iter().zip(&tiles) {
+        out.insert_block(r0, c0, &core.expect("tile computed"));
+    }
+    out
+}
+
+/// FLOPs per cell per step of the update.
+pub const FLOPS_PER_CELL: f64 = 12.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grids(rows: usize, cols: usize) -> (DenseMatrix, DenseMatrix, HotSpotParams) {
+        let temp = DenseMatrix::from_fn(rows, cols, |r, c| {
+            80.0 + ((r * 31 + c * 17) % 23) as f32
+        });
+        let power = DenseMatrix::from_fn(rows, cols, |r, c| ((r + c) % 5) as f32 * 0.2);
+        (temp, power, HotSpotParams::default())
+    }
+
+    #[test]
+    fn uniform_grid_without_power_stays_at_equilibrium() {
+        let temp = DenseMatrix::from_fn(6, 6, |_, _| 80.0);
+        let power = DenseMatrix::zeros(6, 6);
+        let prm = HotSpotParams::default();
+        let out = step_reference(&temp, &power, &prm);
+        // t_amb == 80, so nothing changes.
+        assert!(temp.max_abs_diff(&out) < 1e-6);
+    }
+
+    #[test]
+    fn hot_cell_diffuses_to_neighbors() {
+        let mut temp = DenseMatrix::from_fn(5, 5, |_, _| 80.0);
+        *temp.get_mut(2, 2) = 100.0;
+        let power = DenseMatrix::zeros(5, 5);
+        let prm = HotSpotParams::default();
+        let out = step_reference(&temp, &power, &prm);
+        assert!(out.get(2, 2) < 100.0, "peak cools");
+        assert!(out.get(2, 1) > 80.0, "neighbor warms");
+        assert!((out.get(0, 0) - 80.0).abs() < 1e-6, "far cell untouched");
+    }
+
+    #[test]
+    fn blocked_single_step_matches_reference() {
+        let (temp, power, prm) = grids(17, 23);
+        let reference = multi_step_reference(&temp, &power, 1, &prm);
+        let blocked = multi_step_blocked(&temp, &power, 8, 1, &prm);
+        assert!(reference.max_abs_diff(&blocked) < 1e-5);
+    }
+
+    #[test]
+    fn blocked_temporal_steps_match_reference() {
+        let (temp, power, prm) = grids(24, 24);
+        for steps in [2usize, 3, 4] {
+            let reference = multi_step_reference(&temp, &power, steps, &prm);
+            let blocked = multi_step_blocked(&temp, &power, 8, steps, &prm);
+            assert!(
+                reference.max_abs_diff(&blocked) < 1e-4,
+                "steps={steps}: diff {}",
+                reference.max_abs_diff(&blocked)
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_handles_non_divisible_grids() {
+        let (temp, power, prm) = grids(19, 13);
+        let reference = multi_step_reference(&temp, &power, 3, &prm);
+        let blocked = multi_step_blocked(&temp, &power, 7, 3, &prm);
+        assert!(reference.max_abs_diff(&blocked) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        let pool = ThreadPool::new(4);
+        let (temp, power, prm) = grids(32, 32);
+        let reference = multi_step_reference(&temp, &power, 4, &prm);
+        let par = multi_step_parallel(&pool, &temp, &power, 8, 4, &prm);
+        assert!(reference.max_abs_diff(&par) < 1e-4);
+    }
+
+    #[test]
+    fn halo_clips_at_global_boundary() {
+        let (temp, power, _) = grids(10, 10);
+        let hb = extract_halo_block(&temp, &power, 0, 4, 4, 4, 2);
+        assert_eq!(hb.halo, [0, 2, 2, 2]);
+        assert_eq!(hb.temp.rows, 6);
+        assert_eq!(hb.temp.cols, 8);
+        assert_eq!(hb.core_origin, (0, 4));
+    }
+
+    #[test]
+    fn border_bytes_accounts_halo_only() {
+        let (temp, power, _) = grids(16, 16);
+        let hb = extract_halo_block(&temp, &power, 4, 4, 8, 8, 2);
+        assert_eq!(hb.halo, [2, 2, 2, 2]);
+        assert_eq!(hb.border_bytes(), ((12 * 12 - 64) * 4) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "halo 1 < steps 2")]
+    fn insufficient_halo_is_rejected() {
+        let (temp, power, prm) = grids(10, 10);
+        let hb = extract_halo_block(&temp, &power, 4, 4, 4, 4, 1);
+        step_halo_block(&hb, 2, &prm);
+    }
+
+    #[test]
+    fn single_block_whole_grid_any_steps() {
+        // The whole grid as one block has no halo anywhere; all sides are
+        // global boundaries, so any step count is exact.
+        let (temp, power, prm) = grids(9, 11);
+        let hb = extract_halo_block(&temp, &power, 0, 0, 9, 11, 5);
+        assert_eq!(hb.halo, [0, 0, 0, 0]);
+        let out = step_halo_block(&hb, 6, &prm);
+        let reference = multi_step_reference(&temp, &power, 6, &prm);
+        assert!(reference.max_abs_diff(&out) < 1e-4);
+    }
+}

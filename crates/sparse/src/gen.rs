@@ -1,0 +1,208 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The paper draws SpMV inputs from the Florida (SuiteSparse) collection,
+//! which is not bundled here; these generators produce matrices with the
+//! same *structural* properties CSR-Adaptive is sensitive to — the row
+//! length distribution (binning decisions) and total nnz (I/O volume and
+//! shard sizes). All generators are seeded and deterministic.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform-random matrix: every row has exactly `nnz_per_row` entries at
+/// uniformly random distinct columns. Models well-balanced matrices where
+/// CSR-Stream handles everything.
+pub fn uniform_random(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    assert!(nnz_per_row <= cols, "row cannot hold {nnz_per_row} distinct cols");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::with_capacity(rows * nnz_per_row);
+    let mut vals = Vec::with_capacity(rows * nnz_per_row);
+    row_ptr.push(0usize);
+    let mut cols_buf: Vec<u32> = Vec::with_capacity(nnz_per_row);
+    for _ in 0..rows {
+        cols_buf.clear();
+        while cols_buf.len() < nnz_per_row {
+            let c = rng.gen_range(0..cols) as u32;
+            if !cols_buf.contains(&c) {
+                cols_buf.push(c);
+            }
+        }
+        cols_buf.sort_unstable();
+        for &c in &cols_buf {
+            col_idx.push(c);
+            vals.push(rng.gen_range(-1.0f32..1.0));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// Banded (diagonal) matrix with `2*half_band + 1` diagonals. Models
+/// road-network / structured-mesh matrices: short, regular rows.
+pub fn banded(n: usize, half_band: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(half_band);
+        let hi = (r + half_band + 1).min(n);
+        for c in lo..hi {
+            triplets.push((r, c as u32, rng.gen_range(-1.0f32..1.0)));
+        }
+    }
+    Csr::from_coo(n, n, triplets)
+}
+
+/// Power-law ("scale-free") matrix: row `r`'s length follows
+/// `max_nnz / (1 + r_shuffled)^alpha`, clamped to `[1, max_nnz]`. Models
+/// web/social graphs: a few extremely long rows, many short ones — the case
+/// CSR-Adaptive's CSR-Vector / VectorL bins exist for.
+pub fn powerlaw(rows: usize, cols: usize, max_nnz: usize, alpha: f64, seed: u64) -> Csr {
+    assert!(max_nnz <= cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Shuffle which rows are the heavy ones.
+    let mut order: Vec<usize> = (0..rows).collect();
+    for i in (1..rows).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        let rank = order[r];
+        let len = ((max_nnz as f64) / (1.0 + rank as f64).powf(alpha)).ceil() as usize;
+        let len = len.clamp(1, max_nnz);
+        let mut cols_buf: Vec<u32> = Vec::with_capacity(len);
+        while cols_buf.len() < len {
+            let c = rng.gen_range(0..cols) as u32;
+            if !cols_buf.contains(&c) {
+                cols_buf.push(c);
+            }
+        }
+        for c in cols_buf {
+            triplets.push((r, c, rng.gen_range(-1.0f32..1.0)));
+        }
+    }
+    Csr::from_coo(rows, cols, triplets)
+}
+
+/// 5-point Laplacian on an `nx x ny` grid (FEM/PDE-style matrix, symmetric
+/// structure, exactly the kind of input HPC SpMV sees).
+pub fn laplace_2d(nx: usize, ny: usize) -> Csr {
+    let n = nx * ny;
+    let mut triplets = Vec::with_capacity(5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let r = idx(x, y);
+            triplets.push((r, r as u32, 4.0));
+            if x > 0 {
+                triplets.push((r, idx(x - 1, y) as u32, -1.0));
+            }
+            if x + 1 < nx {
+                triplets.push((r, idx(x + 1, y) as u32, -1.0));
+            }
+            if y > 0 {
+                triplets.push((r, idx(x, y - 1) as u32, -1.0));
+            }
+            if y + 1 < ny {
+                triplets.push((r, idx(x, y + 1) as u32, -1.0));
+            }
+        }
+    }
+    Csr::from_coo(n, n, triplets)
+}
+
+/// Block-diagonal matrix of dense `block x block` blocks. Models
+/// circuit/chemistry matrices with dense local coupling.
+pub fn block_diagonal(blocks: usize, block: usize, seed: u64) -> Csr {
+    let n = blocks * block;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(blocks * block * block);
+    for b in 0..blocks {
+        let base = b * block;
+        for i in 0..block {
+            for j in 0..block {
+                triplets.push((base + i, (base + j) as u32, rng.gen_range(-1.0f32..1.0)));
+            }
+        }
+    }
+    Csr::from_coo(n, n, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_exact_row_lengths() {
+        let m = uniform_random(50, 100, 7, 42);
+        m.validate().unwrap();
+        assert!((0..50).all(|r| m.row_nnz(r) == 7));
+        assert_eq!(m.nnz(), 350);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_random(20, 40, 3, 7), uniform_random(20, 40, 3, 7));
+        assert_eq!(powerlaw(30, 60, 20, 1.2, 9), powerlaw(30, 60, 20, 1.2, 9));
+        assert_ne!(uniform_random(20, 40, 3, 7), uniform_random(20, 40, 3, 8));
+    }
+
+    #[test]
+    fn banded_has_expected_bandwidth() {
+        let m = banded(10, 2, 1);
+        m.validate().unwrap();
+        // Middle rows have full band 5; corners are clipped.
+        assert_eq!(m.row_nnz(5), 5);
+        assert_eq!(m.row_nnz(0), 3);
+        for r in 0..10 {
+            let (cols, _) = m.row(r);
+            for &c in cols {
+                assert!((c as i64 - r as i64).abs() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let m = powerlaw(200, 1000, 256, 1.0, 3);
+        m.validate().unwrap();
+        let s = m.row_stats();
+        assert!(s.max >= 100, "has heavy rows: {s:?}");
+        assert!(s.min <= 2, "has light rows: {s:?}");
+        assert!(s.mean < 64.0, "most rows are short: {s:?}");
+    }
+
+    #[test]
+    fn laplace_structure() {
+        let m = laplace_2d(4, 3);
+        m.validate().unwrap();
+        assert_eq!(m.rows, 12);
+        // Interior point has 5 entries, corner has 3.
+        assert_eq!(m.row_nnz(5), 5);
+        assert_eq!(m.row_nnz(0), 3);
+        // Diagonal dominance: row sums are >= 0.
+        let x = vec![1.0f32; 12];
+        let mut y = vec![0.0f32; 12];
+        m.spmv_reference(&x, &mut y);
+        assert!(y.iter().all(|&v| v >= -1e-6));
+    }
+
+    #[test]
+    fn block_diagonal_is_dense_within_blocks() {
+        let m = block_diagonal(3, 4, 5);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 3 * 16);
+        assert!((0..12).all(|r| m.row_nnz(r) == 4));
+        // No coupling across blocks.
+        let (cols, _) = m.row(0);
+        assert!(cols.iter().all(|&c| c < 4));
+    }
+}

@@ -1,0 +1,73 @@
+//! Topology explorer: every machine preset, rendered and queried.
+//!
+//! Prints the paper's tree abstraction for each built-in machine (Fig. 1c /
+//! Fig. 2), exercises the query API (`get_level`, `get_children_list`,
+//! `fetch_node_type`, capacities), and demonstrates the NVM
+//! virtual-to-physical remapping (the same part as storage vs. as memory,
+//! §II/§III-B). Pass `--dot` to emit Graphviz instead.
+//!
+//! ```text
+//! cargo run --example topology_explorer
+//! cargo run --example topology_explorer -- --dot > trees.dot
+//! ```
+
+use northup_suite::prelude::*;
+
+fn describe(name: &str, tree: &Tree, dot: bool) {
+    if dot {
+        println!("// {name}\n{}", tree.render_dot());
+        return;
+    }
+    println!("=== {name} ===");
+    print!("{}", tree.render_ascii());
+    println!(
+        "levels 0..={} | {} nodes | {} leaves | processors: {}",
+        tree.max_level(),
+        tree.len(),
+        tree.leaves().count(),
+        tree.nodes()
+            .flat_map(|n| n.procs.iter().map(|p| p.name.as_str()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // The capacity/class queries a scheduler would use (paper §III-B).
+    for node in tree.nodes() {
+        println!(
+            "  {}: level {}, class {}, {:.1} GiB, read {:.1} GB/s",
+            node.id,
+            node.level,
+            tree.storage_class(node.id),
+            node.mem.capacity as f64 / (1u64 << 30) as f64,
+            node.mem.read_bw / 1e9,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    describe(
+        "APU + SSD (paper §V-B)",
+        &presets::apu_two_level(catalog::ssd_hyperx_predator()),
+        dot,
+    );
+    describe(
+        "discrete GPU, 3 levels (paper §V-C / Fig. 8)",
+        &presets::discrete_gpu_three_level(catalog::hdd_wd5000()),
+        dot,
+    );
+    describe("asymmetric heterogeneous tree (paper Fig. 2)", &presets::asymmetric_fig2(), dot);
+    describe("exascale node: NVM+DRAM+HBM+GPU (paper §V-D)", &presets::exascale_node(), dot);
+
+    if !dot {
+        // NVM remapping: same device, different software interface.
+        let as_storage = presets::apu_two_level(catalog::nvm_optane_like());
+        let as_memory = presets::apu_with_nvm_memory();
+        println!("=== NVM virtual-to-physical remapping (§II) ===");
+        println!(
+            "same NVM part mapped as {} (move_data -> file I/O) or as {} (move_data -> memcpy)",
+            as_storage.storage_class(NodeId(0)),
+            as_memory.storage_class(NodeId(0)),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Failure injection through the whole stack: a faulty storage device under
+//! a real out-of-core run must surface as a clean `Err`, never a panic or
+//! corrupted accounting, and the runtime must stay usable afterwards.
+
+use northup_suite::hw::{FaultOps, FaultyBackend, HeapBackend, StorageBackend};
+use northup_suite::prelude::*;
+use northup_suite::core::runtime::SetupCosts;
+
+fn faulty_runtime(ops: FaultOps, fail_every: u64) -> Runtime {
+    let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+    Runtime::with_custom_backends(tree, ExecMode::Real, SetupCosts::default(), &move |node| {
+        if node.id == NodeId(0) {
+            // Heap-backed stand-in for the SSD so faults are deterministic.
+            Some(Box::new(FaultyBackend::new(
+                HeapBackend::new("faulty-ssd", node.mem.capacity),
+                ops,
+                fail_every,
+            )) as Box<dyn StorageBackend>)
+        } else {
+            None
+        }
+    })
+    .unwrap()
+}
+
+#[test]
+fn read_faults_surface_as_errors_not_panics() {
+    let rt = faulty_runtime(FaultOps::Reads, 3);
+    let file = rt.alloc(1024, NodeId(0)).unwrap();
+    let stage = rt.alloc(64, NodeId(1)).unwrap();
+
+    let mut errors = 0;
+    let mut oks = 0;
+    for i in 0..12u64 {
+        match rt.move_data(stage, 0, file, i * 64, 64) {
+            Ok(_) => oks += 1,
+            Err(NorthupError::Hw(_)) => errors += 1,
+            Err(e) => panic!("unexpected error type: {e}"),
+        }
+    }
+    assert_eq!(errors, 4, "every third backend read fails");
+    assert_eq!(oks, 8);
+    // The runtime is still fully usable.
+    rt.release(stage).unwrap();
+    let h = rt.alloc(16, NodeId(1)).unwrap();
+    rt.release(h).unwrap();
+}
+
+#[test]
+fn write_faults_do_not_corrupt_capacity_accounting() {
+    let rt = faulty_runtime(FaultOps::Writes, 2);
+    let file = rt.alloc(256, NodeId(0)).unwrap();
+    let stage = rt.alloc(64, NodeId(1)).unwrap();
+    let before = rt.used(NodeId(0));
+
+    let mut failures = 0;
+    for _ in 0..6 {
+        if rt.move_data(file, 0, stage, 0, 64).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0);
+    assert_eq!(rt.used(NodeId(0)), before, "capacity unchanged by faults");
+}
+
+#[test]
+fn alloc_faults_are_reported_and_recoverable() {
+    let rt = faulty_runtime(FaultOps::Allocs, 2);
+    let a = rt.alloc(32, NodeId(0)).unwrap(); // 1st alloc ok
+    let err = rt.alloc(32, NodeId(0)).unwrap_err(); // 2nd injected
+    assert!(matches!(err, NorthupError::Hw(_)), "{err}");
+    let b = rt.alloc(32, NodeId(0)).unwrap(); // 3rd ok
+    rt.release(a).unwrap();
+    rt.release(b).unwrap();
+    assert_eq!(rt.used(NodeId(0)), 0);
+}
+
+#[test]
+fn unaffected_nodes_keep_working_during_faults() {
+    let rt = faulty_runtime(FaultOps::ReadsAndWrites, 1);
+    // Storage is fully broken; DRAM-local operation still works.
+    let a = rt.alloc(128, NodeId(1)).unwrap();
+    let b = rt.alloc(128, NodeId(1)).unwrap();
+    rt.write_slice(a, 0, &[7u8; 128]).unwrap();
+    rt.move_data(b, 0, a, 0, 128).unwrap();
+    let mut out = [0u8; 128];
+    rt.read_slice(b, 0, &mut out).unwrap();
+    assert_eq!(out, [7u8; 128]);
+}

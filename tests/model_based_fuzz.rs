@@ -1,0 +1,207 @@
+//! Model-based fuzzing of the unified data API: a random program of
+//! allocs / releases / writes / moves / strided moves runs against the
+//! real Runtime (with real files and heap buffers) while a flat
+//! `HashMap<handle, Vec<u8>>` reference model mirrors every operation.
+//! After every step the observable bytes must agree exactly, on both
+//! 2-level and 3-level trees.
+
+use northup_suite::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { node_choice: u8, size: u64 },
+    Release { pick: u8 },
+    Write { pick: u8, seed: u8 },
+    Move { dst: u8, src: u8, len_frac: u8 },
+    MoveStrided { dst: u8, src: u8 },
+    Check { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u64..600).prop_map(|(node_choice, size)| Op::Alloc { node_choice, size }),
+        any::<u8>().prop_map(|pick| Op::Release { pick }),
+        (any::<u8>(), any::<u8>()).prop_map(|(pick, seed)| Op::Write { pick, seed }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(dst, src, len_frac)| Op::Move {
+            dst,
+            src,
+            len_frac
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dst, src)| Op::MoveStrided { dst, src }),
+        any::<u8>().prop_map(|pick| Op::Check { pick }),
+    ]
+}
+
+struct Model {
+    rt: Runtime,
+    nodes: Vec<NodeId>,
+    /// live handles with their mirror contents and owning node
+    live: Vec<(BufferHandle, NodeId, Vec<u8>)>,
+}
+
+impl Model {
+    fn new(tree: Tree) -> Self {
+        let nodes: Vec<NodeId> = tree.nodes().map(|n| n.id).collect();
+        Model {
+            rt: Runtime::new(tree, ExecMode::Real).unwrap(),
+            nodes,
+            live: Vec::new(),
+        }
+    }
+
+    fn pick(&self, raw: u8) -> Option<usize> {
+        if self.live.is_empty() {
+            None
+        } else {
+            Some(raw as usize % self.live.len())
+        }
+    }
+
+    fn apply(&mut self, op: &Op) -> std::result::Result<(), TestCaseError> {
+        match *op {
+            Op::Alloc { node_choice, size } => {
+                let node = self.nodes[node_choice as usize % self.nodes.len()];
+                if let Ok(h) = self.rt.alloc(size, node) {
+                    self.live.push((h, node, vec![0u8; size as usize]));
+                }
+            }
+            Op::Release { pick } => {
+                if let Some(i) = self.pick(pick) {
+                    let (h, _, _) = self.live.remove(i);
+                    self.rt.release(h).unwrap();
+                }
+            }
+            Op::Write { pick, seed } => {
+                if let Some(i) = self.pick(pick) {
+                    let (h, _, mirror) = &mut self.live[i];
+                    let data: Vec<u8> =
+                        (0..mirror.len()).map(|k| seed.wrapping_add(k as u8)).collect();
+                    self.rt.write_slice(*h, 0, &data).unwrap();
+                    mirror.copy_from_slice(&data);
+                }
+            }
+            Op::Move { dst, src, len_frac } => {
+                let (Some(di), Some(si)) = (self.pick(dst), self.pick(src)) else {
+                    return Ok(());
+                };
+                if di == si {
+                    return Ok(());
+                }
+                let (dh, dn, _) = self.live[di].clone_meta();
+                let (sh, sn, _) = self.live[si].clone_meta();
+                let max = self.live[di].2.len().min(self.live[si].2.len()) as u64;
+                let len = max * (len_frac as u64 % 100) / 100;
+                match self.rt.move_data(dh, 0, sh, 0, len) {
+                    Ok(_) => {
+                        let src_bytes = self.live[si].2[..len as usize].to_vec();
+                        self.live[di].2[..len as usize].copy_from_slice(&src_bytes);
+                    }
+                    Err(NorthupError::NotAdjacent(a, b)) => {
+                        prop_assert!(
+                            dn != sn && !adjacent_ok(&self.rt, sn, dn),
+                            "spurious NotAdjacent({a},{b})"
+                        );
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                }
+            }
+            Op::MoveStrided { dst, src } => {
+                let (Some(di), Some(si)) = (self.pick(dst), self.pick(src)) else {
+                    return Ok(());
+                };
+                if di == si {
+                    return Ok(());
+                }
+                let (dh, _, _) = self.live[di].clone_meta();
+                let (sh, _, _) = self.live[si].clone_meta();
+                let dlen = self.live[di].2.len() as u64;
+                let slen = self.live[si].2.len() as u64;
+                // Every other byte of src's front half into dst's front.
+                let rows = (slen / 2).min(dlen).min(8);
+                if rows == 0 {
+                    return Ok(());
+                }
+                if self
+                    .rt
+                    .move_data_strided(dh, 0, 1, sh, 0, 2, 1, rows)
+                    .is_ok()
+                {
+                    for r in 0..rows as usize {
+                        let b = self.live[si].2[r * 2];
+                        self.live[di].2[r] = b;
+                    }
+                }
+            }
+            Op::Check { pick } => {
+                if let Some(i) = self.pick(pick) {
+                    let (h, _, mirror) = &self.live[i];
+                    let mut got = vec![0u8; mirror.len()];
+                    self.rt.read_slice(*h, 0, &mut got).unwrap();
+                    prop_assert_eq!(&got, mirror, "buffer {:?} diverged", h);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_all(&self) -> std::result::Result<(), TestCaseError> {
+        for (h, node, mirror) in &self.live {
+            let mut got = vec![0u8; mirror.len()];
+            self.rt.read_slice(*h, 0, &mut got).unwrap();
+            prop_assert_eq!(&got, mirror, "final divergence on {:?}@{}", h, node);
+        }
+        Ok(())
+    }
+}
+
+trait CloneMeta {
+    fn clone_meta(&self) -> (BufferHandle, NodeId, ());
+}
+
+impl CloneMeta for (BufferHandle, NodeId, Vec<u8>) {
+    fn clone_meta(&self) -> (BufferHandle, NodeId, ()) {
+        (self.0, self.1, ())
+    }
+}
+
+fn adjacent_ok(rt: &Runtime, a: NodeId, b: NodeId) -> bool {
+    a == b || rt.tree().adjacent(a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn runtime_matches_flat_reference_on_two_levels(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut m = Model::new(presets::apu_two_level(catalog::ssd_hyperx_predator()));
+        for op in &ops {
+            m.apply(op)?;
+        }
+        m.check_all()?;
+    }
+
+    #[test]
+    fn runtime_matches_flat_reference_on_three_levels(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut m = Model::new(presets::discrete_gpu_three_level(catalog::hdd_wd5000()));
+        for op in &ops {
+            m.apply(op)?;
+        }
+        m.check_all()?;
+    }
+
+    #[test]
+    fn runtime_matches_flat_reference_on_the_asymmetric_tree(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut m = Model::new(presets::asymmetric_fig2());
+        for op in &ops {
+            m.apply(op)?;
+        }
+        m.check_all()?;
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate correctness: every application's out-of-core Northup
+//! execution must produce exactly the same result as its in-memory
+//! reference, for arbitrary shapes, blockings, storage devices and
+//! topologies. These are the end-to-end guarantees behind the paper's
+//! portability claim.
+
+use northup_suite::apps::hotspot::hotspot_northup;
+use northup_suite::apps::matmul::matmul_northup;
+use northup_suite::apps::spmv::spmv_northup;
+use northup_suite::prelude::*;
+use northup_suite::sparse::gen;
+use proptest::prelude::*;
+
+fn storages() -> Vec<DeviceSpec> {
+    vec![
+        catalog::ssd_hyperx_predator(),
+        catalog::hdd_wd5000(),
+        catalog::nvm_optane_like(),
+        catalog::nvm_as_memory(), // memory-class root: memcpy dispatch path
+    ]
+}
+
+use northup_suite::hw::catalog;
+
+#[test]
+fn matmul_verifies_on_every_storage_class() {
+    let cfg = MatmulConfig {
+        n: 48,
+        block: 16,
+        ring: 2,
+        seed: 3,
+    };
+    for storage in storages() {
+        let name = storage.name.clone();
+        let run = matmul_apu(&cfg, storage, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true), "matmul on {name}");
+    }
+}
+
+#[test]
+fn hotspot_verifies_on_every_storage_class() {
+    let cfg = HotspotConfig {
+        n: 32,
+        block: 16,
+        steps_per_pass: 2,
+        passes: 2,
+        ring: 2,
+        seed: 3,
+    };
+    for storage in storages() {
+        let name = storage.name.clone();
+        let run = hotspot_apu(&cfg, storage, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true), "hotspot on {name}");
+    }
+}
+
+#[test]
+fn spmv_verifies_on_every_storage_class() {
+    let input = SpmvInput::Matrix(gen::powerlaw(300, 300, 64, 0.8, 17));
+    for storage in storages() {
+        let name = storage.name.clone();
+        let run = spmv_apu(&input, storage, ExecMode::Real).unwrap();
+        assert_eq!(run.verified, Some(true), "spmv on {name}");
+    }
+}
+
+#[test]
+fn all_apps_verify_on_the_exascale_chain() {
+    // Four software-managed levels: NVM -> DRAM -> HBM -> GPU memory.
+    let cfg = MatmulConfig {
+        n: 32,
+        block: 16,
+        ring: 2,
+        seed: 9,
+    };
+    let run = matmul_northup(&cfg, presets::exascale_node(), ExecMode::Real).unwrap();
+    assert_eq!(run.verified, Some(true));
+
+    let hcfg = HotspotConfig {
+        n: 32,
+        block: 16,
+        steps_per_pass: 3,
+        passes: 2,
+        ring: 2,
+        seed: 1,
+    };
+    let run = hotspot_northup(&hcfg, presets::exascale_node(), ExecMode::Real).unwrap();
+    assert_eq!(run.verified, Some(true));
+
+    let input = SpmvInput::Matrix(gen::banded(200, 2, 5));
+    let run = spmv_northup(&input, presets::exascale_node(), ExecMode::Real).unwrap();
+    assert_eq!(run.verified, Some(true));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_exact_for_arbitrary_divisible_shapes(
+        blocks in 1usize..5,
+        block in prop::sample::select(vec![8usize, 16, 24]),
+        seed in 0u64..1000,
+    ) {
+        let cfg = MatmulConfig { n: blocks * block, block, ring: 2, seed };
+        let run = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        prop_assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn hotspot_exact_for_arbitrary_blocking_and_depth(
+        tiles in 1usize..4,
+        block in prop::sample::select(vec![8usize, 16]),
+        steps in 1usize..5,
+        passes in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = HotspotConfig {
+            n: tiles * block,
+            block,
+            steps_per_pass: steps,
+            passes,
+            ring: 2,
+            seed,
+        };
+        let run = hotspot_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        prop_assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn spmv_exact_for_arbitrary_matrices(
+        rows in 20usize..400,
+        nnz_per_row in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = gen::uniform_random(rows, rows.max(nnz_per_row + 1), nnz_per_row, seed);
+        let input = SpmvInput::Matrix(m);
+        let run = spmv_apu(&input, catalog::hdd_wd5000(), ExecMode::Real).unwrap();
+        prop_assert_eq!(run.verified, Some(true));
+    }
+
+    #[test]
+    fn northup_checksums_match_in_memory(seed in 0u64..1000) {
+        let cfg = MatmulConfig { n: 32, block: 16, ring: 2, seed };
+        let a = matmul_in_memory(&cfg, ExecMode::Real).unwrap();
+        let b = matmul_apu(&cfg, catalog::ssd_hyperx_predator(), ExecMode::Real).unwrap();
+        let (ca, cb) = (a.checksum.unwrap(), b.checksum.unwrap());
+        prop_assert!((ca - cb).abs() <= 1e-6 * ca.abs().max(1.0));
+    }
+}

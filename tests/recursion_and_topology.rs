@@ -1,0 +1,125 @@
+//! The recursive programming model across topologies: full traversal of
+//! the asymmetric Fig. 2 tree, level bookkeeping, per-branch work queues,
+//! and the paper's tree-query API used from inside the recursion.
+
+use northup_suite::prelude::*;
+
+/// Recursively visit every leaf reachable from a context, moving one byte
+/// of data down each edge and asserting the level arithmetic.
+fn visit_all(ctx: &Ctx, carried: BufferHandle, touched: &mut Vec<NodeId>) -> Result<()> {
+    let rt = ctx.rt();
+    touched.push(ctx.node());
+    if ctx.is_leaf() {
+        assert_eq!(
+            ctx.children().len(),
+            0,
+            "leaves have no children by definition"
+        );
+        return Ok(());
+    }
+    for i in 0..ctx.children().len() {
+        let child = ctx.children()[i];
+        // setup_buffer + data_down for this branch.
+        let lower = rt.alloc(1, child)?;
+        ctx.move_down(lower, 0, carried, 0, 1)?;
+        ctx.spawn(i, |c| visit_all(c, lower, touched))?;
+        rt.release(lower)?;
+    }
+    Ok(())
+}
+
+#[test]
+fn recursion_covers_the_asymmetric_tree() {
+    let tree = presets::asymmetric_fig2();
+    let expected_nodes = tree.len();
+    let rt = Runtime::new(tree, ExecMode::Real).unwrap();
+    let root = rt.root_ctx();
+    let seed = root.alloc(1).unwrap();
+    rt.write_slice(seed, 0, &[42]).unwrap();
+
+    let mut touched = Vec::new();
+    visit_all(&root, seed, &mut touched).unwrap();
+    assert_eq!(touched.len(), expected_nodes, "every node visited once");
+
+    // Work-queue statistics: the root spawned one task per child subtree.
+    assert_eq!(
+        rt.tasks_spawned(NodeId(0)) as usize,
+        rt.tree().children(NodeId(0)).len()
+    );
+    assert_eq!(rt.tasks_active(NodeId(0)), 0, "all tasks retired");
+}
+
+#[test]
+fn levels_increase_by_one_per_edge_everywhere() {
+    for tree in [
+        presets::apu_two_level(catalog::ssd_hyperx_predator()),
+        presets::discrete_gpu_three_level(catalog::hdd_wd5000()),
+        presets::asymmetric_fig2(),
+        presets::exascale_node(),
+    ] {
+        for node in tree.nodes() {
+            match node.parent {
+                None => assert_eq!(node.level, 0, "root is level 0 (slowest storage)"),
+                Some(p) => assert_eq!(node.level, tree.level(p) + 1),
+            }
+            for &c in &node.children {
+                assert_eq!(tree.parent(c), Some(node.id));
+            }
+        }
+        // max_level is attained by some leaf.
+        assert!(tree.leaves().any(|l| l.level == tree.max_level()));
+    }
+}
+
+#[test]
+fn computation_happens_at_leaves_with_processors() {
+    // Every preset leaf intended for compute has at least one processor,
+    // and every processor-less node is an intermediate memory.
+    for tree in [
+        presets::apu_two_level(catalog::ssd_hyperx_predator()),
+        presets::discrete_gpu_three_level(catalog::hdd_wd5000()),
+        presets::asymmetric_fig2(),
+        presets::exascale_node(),
+    ] {
+        for leaf in tree.leaves() {
+            assert!(
+                !leaf.procs.is_empty(),
+                "leaf {} of {:?} has no processor",
+                leaf.id,
+                tree.node(NodeId(0)).mem.name
+            );
+        }
+    }
+}
+
+#[test]
+fn query_api_matches_paper_semantics() {
+    let tree = presets::discrete_gpu_three_level(catalog::ssd_hyperx_predator());
+    let rt = Runtime::new(tree, ExecMode::Real).unwrap();
+
+    // get_cur_treenode / get_level / get_max_treelevel from Listing 3.
+    let root = rt.root_ctx();
+    assert_eq!(root.node(), NodeId(0));
+    assert_eq!(root.level(), 0);
+    assert_eq!(root.max_level(), 2);
+
+    // fetch_node_type drives the move_data dispatch.
+    assert_eq!(rt.tree().storage_class(NodeId(0)), StorageClass::File);
+    assert_eq!(rt.tree().storage_class(NodeId(1)), StorageClass::Memory);
+    assert_eq!(rt.tree().storage_class(NodeId(2)), StorageClass::Device);
+
+    // get_device at the leaf selects the kernel target (§III-E).
+    let leaf = rt.ctx_at(NodeId(2));
+    assert_eq!(leaf.device(), Some(ProcKind::Gpu));
+    assert!(leaf.is_leaf());
+    assert_eq!(leaf.level(), leaf.max_level());
+}
+
+#[test]
+fn render_outputs_are_stable() {
+    let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+    let a = tree.render_ascii();
+    let b = tree.render_ascii();
+    assert_eq!(a, b);
+    assert!(tree.render_dot().contains("digraph"));
+}
