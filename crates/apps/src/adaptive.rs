@@ -63,11 +63,7 @@ impl AdaptiveMapper {
         let best = self.best();
         if self.since_reprobe >= self.reprobe_every {
             self.since_reprobe = 0;
-            if let Some(&(loser, _)) = self
-                .probes_left
-                .iter()
-                .find(|(k, _)| Some(*k) != best)
-            {
+            if let Some(&(loser, _)) = self.probes_left.iter().find(|(k, _)| Some(*k) != best) {
                 return loser;
             }
         }
@@ -190,7 +186,11 @@ mod tests {
         // Then it settles on the GPU.
         for _ in 0..10 {
             let k = m.choose();
-            m.observe(k, 1.0, SimDur::from_millis(if k == ProcKind::Gpu { 10 } else { 40 }));
+            m.observe(
+                k,
+                1.0,
+                SimDur::from_millis(if k == ProcKind::Gpu { 10 } else { 40 }),
+            );
         }
         assert_eq!(m.best(), Some(ProcKind::Gpu));
         assert!(m.rate(ProcKind::Gpu).unwrap() > m.rate(ProcKind::Cpu).unwrap());
@@ -202,13 +202,21 @@ mod tests {
         // Initially GPU wins.
         for _ in 0..8 {
             let k = m.choose();
-            m.observe(k, 1.0, SimDur::from_millis(if k == ProcKind::Gpu { 5 } else { 20 }));
+            m.observe(
+                k,
+                1.0,
+                SimDur::from_millis(if k == ProcKind::Gpu { 5 } else { 20 }),
+            );
         }
         assert_eq!(m.best(), Some(ProcKind::Gpu));
         // Phase change: GPU becomes terrible. Re-probes must flip the choice.
         for _ in 0..200 {
             let k = m.choose();
-            m.observe(k, 1.0, SimDur::from_millis(if k == ProcKind::Gpu { 500 } else { 20 }));
+            m.observe(
+                k,
+                1.0,
+                SimDur::from_millis(if k == ProcKind::Gpu { 500 } else { 20 }),
+            );
         }
         assert_eq!(m.best(), Some(ProcKind::Cpu), "phase change detected");
     }

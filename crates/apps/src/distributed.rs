@@ -17,7 +17,9 @@
 use crate::calibration::model_for;
 use crate::report::AppRun;
 use northup::{BufferHandle, ExecMode, NodeId, ProcKind, Result, Runtime};
-use northup_kernels::{bytes_to_f32s, f32s_to_bytes, matmul_naive, matmul_tiled, DenseMatrix, LEAF_TILE};
+use northup_kernels::{
+    bytes_to_f32s, f32s_to_bytes, matmul_naive, matmul_tiled, DenseMatrix, LEAF_TILE,
+};
 
 /// Configuration of a distributed GEMM run.
 #[derive(Debug, Clone)]
@@ -54,7 +56,7 @@ impl DistGemmConfig {
     }
 
     fn nb(&self) -> usize {
-        assert!(self.block > 0 && self.n % self.block == 0);
+        assert!(self.block > 0 && self.n.is_multiple_of(self.block));
         self.n / self.block
     }
 }
@@ -180,7 +182,6 @@ pub fn gemm_cluster(cfg: &DistGemmConfig, mode: ExecMode) -> Result<AppRun> {
         checksum,
     })
 }
-
 
 /// Issue one (strip i, shard j) tile on `chain`.
 fn process_tile(

@@ -95,7 +95,7 @@ impl HotspotConfig {
 
     fn tiles(&self) -> usize {
         assert!(
-            self.block > 0 && self.n % self.block == 0,
+            self.block > 0 && self.n.is_multiple_of(self.block),
             "block {} must divide n {}",
             self.block,
             self.n
@@ -265,10 +265,24 @@ pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
             let region_row = (ww * 4) as u64;
             let src_off = (rr0 * n + cc0) as u64 * 4;
             rt.move_data_strided(
-                in_stage[r], 0, region_row, input, src_off, row_bytes, region_row, hh as u64,
+                in_stage[r],
+                0,
+                region_row,
+                input,
+                src_off,
+                row_bytes,
+                region_row,
+                hh as u64,
             )?;
             rt.move_data_strided(
-                pw_stage[r], 0, region_row, p_file, src_off, row_bytes, region_row, hh as u64,
+                pw_stage[r],
+                0,
+                region_row,
+                p_file,
+                src_off,
+                row_bytes,
+                region_row,
+                hh as u64,
             )?;
             Ok(())
         };
@@ -285,8 +299,7 @@ pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
 
                 // Push the region down the deeper chain (if any).
                 let region_bytes = (hh * ww * 4) as u64;
-                let (mut in_c, mut pw_c, mut out_c) =
-                    (in_stage[r], pw_stage[r], out_stage[r]);
+                let (mut in_c, mut pw_c, mut out_c) = (in_stage[r], pw_stage[r], out_stage[r]);
                 for bufs in &deep {
                     rt.move_data(bufs[0], 0, in_c, 0, region_bytes)?;
                     rt.move_data(bufs[1], 0, pw_c, 0, region_bytes)?;
@@ -296,8 +309,7 @@ pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
                 }
 
                 // Leaf kernel: steps_per_pass trapezoid steps.
-                let dur = gpu_model
-                    .stencil_time((hh * ww) as u64, cfg.steps_per_pass as u64);
+                let dur = gpu_model.stencil_time((hh * ww) as u64, cfg.steps_per_pass as u64);
                 rt.charge_compute(
                     leaf_node,
                     ProcKind::Gpu,
@@ -407,7 +419,6 @@ pub fn hotspot_split_leaf(
     let rt = Runtime::new(tree, mode)?;
     let n = cfg.n;
     let halo = cfg.steps_per_pass;
-    
 
     let root = rt.tree().root();
     let n2b = (n * n * 4) as u64;
@@ -434,7 +445,7 @@ pub fn hotspot_split_leaf(
     // split line behaves like an internal halo boundary, so each side needs
     // `halo` extra rows from the other — both read the same staged block).
     assert!(
-        n % cfg.block == 0,
+        n.is_multiple_of(cfg.block),
         "block {} must divide n {}",
         cfg.block,
         cfg.n
@@ -443,8 +454,14 @@ pub fn hotspot_split_leaf(
     let gpu_rows = ((cfg.block as f64 * gpu_fraction).round() as usize).min(cfg.block);
     let cpu_rows = cfg.block - gpu_rows;
     let max_region = ((cfg.block + 2 * halo) * n * 4) as u64;
-    let in_stage = [rt.alloc(max_region, stage_node)?, rt.alloc(max_region, stage_node)?];
-    let pw_stage = [rt.alloc(max_region, stage_node)?, rt.alloc(max_region, stage_node)?];
+    let in_stage = [
+        rt.alloc(max_region, stage_node)?,
+        rt.alloc(max_region, stage_node)?,
+    ];
+    let pw_stage = [
+        rt.alloc(max_region, stage_node)?,
+        rt.alloc(max_region, stage_node)?,
+    ];
     // Each device writes its own half of the band: sharing one output
     // buffer would serialize the devices on a write-after-write hazard.
     let alloc_out = |rows: usize| rt.alloc((rows.max(1) * n * 4) as u64, stage_node);
@@ -469,7 +486,8 @@ pub fn hotspot_split_leaf(
             // CPU, concurrently (separate output buffers, shared inputs).
             let cells = |rows: usize| (rows * n) as u64;
             if gpu_rows > 0 {
-                let dur = gpu_model.stencil_time(cells(gpu_rows + 2 * halo), cfg.steps_per_pass as u64);
+                let dur =
+                    gpu_model.stencil_time(cells(gpu_rows + 2 * halo), cfg.steps_per_pass as u64);
                 rt.charge_compute(
                     stage_node,
                     ProcKind::Gpu,
@@ -480,7 +498,8 @@ pub fn hotspot_split_leaf(
                 )?;
             }
             if cpu_rows > 0 {
-                let dur = cpu_model.stencil_time(cells(cpu_rows + 2 * halo), cfg.steps_per_pass as u64);
+                let dur =
+                    cpu_model.stencil_time(cells(cpu_rows + 2 * halo), cfg.steps_per_pass as u64);
                 rt.charge_compute(
                     stage_node,
                     ProcKind::Cpu,
@@ -508,9 +527,10 @@ pub fn hotspot_split_leaf(
                     cols: n,
                     data: bytes_to_f32s(&pb),
                 };
-                for (dev_r0, dev_rows, buf) in
-                    [(0usize, gpu_rows, out_gpu[r]), (gpu_rows, cpu_rows, out_cpu[r])]
-                {
+                for (dev_r0, dev_rows, buf) in [
+                    (0usize, gpu_rows, out_gpu[r]),
+                    (gpu_rows, cpu_rows, out_cpu[r]),
+                ] {
                     if dev_rows == 0 {
                         continue;
                     }
@@ -533,7 +553,13 @@ pub fn hotspot_split_leaf(
             }
 
             if gpu_rows > 0 {
-                rt.move_data(output, (r0 * n * 4) as u64, out_gpu[r], 0, (gpu_rows * n * 4) as u64)?;
+                rt.move_data(
+                    output,
+                    (r0 * n * 4) as u64,
+                    out_gpu[r],
+                    0,
+                    (gpu_rows * n * 4) as u64,
+                )?;
             }
             if cpu_rows > 0 {
                 rt.move_data(
@@ -668,9 +694,8 @@ mod tests {
             seed: 3,
         };
         for f in [0.0, 0.3, 0.7, 1.0] {
-            let run =
-                hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Real)
-                    .unwrap();
+            let run = hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Real)
+                .unwrap();
             assert_eq!(run.verified, Some(true), "fraction {f}");
         }
     }
@@ -690,18 +715,15 @@ mod tests {
             hotspot_split_leaf(&cfg, 1.0, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
                 .unwrap();
         let split =
-            hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
-                .unwrap();
-        let speedup =
-            gpu_only.makespan().as_secs_f64() / split.makespan().as_secs_f64();
+            hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Modeled).unwrap();
+        let speedup = gpu_only.makespan().as_secs_f64() / split.makespan().as_secs_f64();
         assert!(
             speedup > 1.05,
             "split at {f:.2} should beat gpu-only: {speedup:.3}"
         );
         // And a terrible split (mostly CPU) is worse than gpu-only.
-        let bad =
-            hotspot_split_leaf(&cfg, 0.1, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
-                .unwrap();
+        let bad = hotspot_split_leaf(&cfg, 0.1, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
+            .unwrap();
         assert!(bad.makespan() > gpu_only.makespan());
     }
 

@@ -120,8 +120,7 @@ pub fn spmv_with_format(
                 let ell = Ell::from_csr(&sub);
                 let ell_bytes = ell.storage_bytes().max(8);
                 let ell_buf = rt.alloc(ell_bytes, stage)?;
-                let t_dur =
-                    SimDur::from_secs_f64((csr_bytes + ell_bytes) as f64 / TRANSFORM_BW);
+                let t_dur = SimDur::from_secs_f64((csr_bytes + ell_bytes) as f64 / TRANSFORM_BW);
                 rt.charge_compute(
                     stage,
                     cpu,
@@ -151,7 +150,13 @@ pub fn spmv_with_format(
                 rt.release(ell_buf)?;
             }
         }
-        rt.move_data(y_file, (s.row_start * 4) as u64, y_s, 0, (sub.rows * 4) as u64)?;
+        rt.move_data(
+            y_file,
+            (s.row_start * 4) as u64,
+            y_s,
+            0,
+            (sub.rows * 4) as u64,
+        )?;
         rt.release(y_s)?;
         rt.release(shard_buf)?;
     }
@@ -198,8 +203,7 @@ pub fn format_study(inputs: &[(&str, Csr)]) -> Result<Vec<FormatRow>> {
         .map(|(name, m)| {
             let storage = northup_hw::catalog::ssd_hyperx_predator();
             let csr = spmv_with_format(m, SpmvFormat::Csr, storage.clone(), ExecMode::Real)?;
-            let ell =
-                spmv_with_format(m, SpmvFormat::EllOnMigrate, storage, ExecMode::Real)?;
+            let ell = spmv_with_format(m, SpmvFormat::EllOnMigrate, storage, ExecMode::Real)?;
             assert_eq!(csr.verified, Some(true));
             assert_eq!(ell.verified, Some(true));
             Ok(FormatRow {
@@ -264,10 +268,7 @@ mod tests {
             ExecMode::Real,
         )
         .unwrap();
-        let cpu = run
-            .report
-            .breakdown
-            .get(northup_sim::Category::CpuCompute);
+        let cpu = run.report.breakdown.get(northup_sim::Category::CpuCompute);
         assert!(cpu > SimDur::ZERO, "migration transform on the CPU");
     }
 }

@@ -34,19 +34,21 @@ pub mod layout;
 pub mod matmul;
 pub mod reduce;
 pub mod report;
+pub mod service;
 pub mod spmv;
 pub mod subtree;
 
 pub use adaptive::{adaptive_stencil_stream, AdaptiveMapper, AdaptiveOutcome, Policy};
 pub use balance::{fig11_speedup, run_balanced, BalanceConfig, BalanceRun, LeafRates};
+pub use distributed::{gemm_cluster, scaling_curve, DistGemmConfig};
 pub use hotspot::{
     hotspot_apu, hotspot_in_memory, hotspot_northup, hotspot_split_leaf, optimal_gpu_fraction,
     HotspotConfig,
 };
-pub use distributed::{gemm_cluster, scaling_curve, DistGemmConfig};
 pub use layout::{format_study, spmv_with_format, FormatRow, SpmvFormat};
 pub use matmul::{matmul_apu, matmul_in_memory, matmul_northup, MatmulConfig};
 pub use reduce::{map_northup, reduce_northup, ReduceOp, StreamConfig};
 pub use report::AppRun;
+pub use service::{job_profile, run_service, synthetic_trace, ServiceJobKind, TraceConfig};
 pub use spmv::{spmv_apu, spmv_in_memory, spmv_northup, SpmvInput};
 pub use subtree::{branches, run_batch, Branch, Dispatch, SubtreeOutcome};

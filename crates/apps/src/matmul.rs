@@ -85,7 +85,7 @@ impl MatmulConfig {
 
     fn nb(&self) -> usize {
         assert!(
-            self.block > 0 && self.n % self.block == 0,
+            self.block > 0 && self.n.is_multiple_of(self.block),
             "block {} must divide n {}",
             self.block,
             self.n
@@ -351,8 +351,7 @@ pub fn matmul_northup_on(rt: &Runtime, cfg: &MatmulConfig) -> Result<AppRun> {
                 rt.move_data(c_stage[r], 0, cur_c, 0, tile_c)?;
                 cur_c = c_stage[r];
             }
-            stage_ctx
-                .move_up(c_file, (i * nb + j) * tile_c, cur_c, 0, tile_c)?;
+            stage_ctx.move_up(c_file, (i * nb + j) * tile_c, cur_c, 0, tile_c)?;
         }
     }
 
@@ -543,7 +542,11 @@ pub fn matmul_northup_ksplit(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> 
 }
 
 /// Run the Northup matmul over the 2-level APU preset with a given storage.
-pub fn matmul_apu(cfg: &MatmulConfig, storage: northup_hw::DeviceSpec, mode: ExecMode) -> Result<AppRun> {
+pub fn matmul_apu(
+    cfg: &MatmulConfig,
+    storage: northup_hw::DeviceSpec,
+    mode: ExecMode,
+) -> Result<AppRun> {
     matmul_northup(cfg, northup::presets::apu_two_level(storage), mode)
 }
 

@@ -138,11 +138,9 @@ pub fn reduce_northup(
                     ReduceOp::Sum => {
                         acc.set(acc.get() + vals.iter().map(|&v| v as f64).sum::<f64>())
                     }
-                    ReduceOp::Max => acc.set(
-                        vals.iter()
-                            .map(|&v| v as f64)
-                            .fold(acc.get(), f64::max),
-                    ),
+                    ReduceOp::Max => {
+                        acc.set(vals.iter().map(|&v| v as f64).fold(acc.get(), f64::max))
+                    }
                 }
             }
             Ok(())
@@ -154,7 +152,10 @@ pub fn reduce_northup(
     if let Some(host) = host {
         let oracle = match op {
             ReduceOp::Sum => host.iter().map(|&v| v as f64).sum::<f64>(),
-            ReduceOp::Max => host.iter().map(|&v| v as f64).fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Max => host
+                .iter()
+                .map(|&v| v as f64)
+                .fold(f64::NEG_INFINITY, f64::max),
         };
         verified = Some((acc.get() - oracle).abs() <= 1e-9 * oracle.abs().max(1.0));
     }

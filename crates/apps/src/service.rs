@@ -1,0 +1,229 @@
+//! Multi-tenant service driver: replay a synthetic arrival trace of mixed
+//! out-of-core jobs (GEMM, HotSpot, SpMV) through the `northup-sched`
+//! admission-controlled scheduler.
+//!
+//! Each application's steady state is collapsed to the [`JobWork`] shape
+//! the scheduler's co-simulation serves (per-chunk root read, link
+//! staging, leaf compute, writeback), with capacity reservations derived
+//! from the same blocking parameters the real out-of-core drivers use —
+//! so a "GEMM tenant" holds the DRAM staging ring a real paper-scale
+//! GEMM would hold.
+
+use crate::calibration::paper;
+use crate::calibration::GEMM_RING;
+use northup::Tree;
+use northup_sched::{
+    staging_reservation, AdmissionPolicy, JobScheduler, JobSpec, JobWork, Priority, SchedReport,
+    SchedulerConfig,
+};
+use northup_sim::{SimDur, SimTime};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// The application mix a service-trace job can be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceJobKind {
+    /// Paper-scale tiled dense GEMM (§IV-A), scaled down by `scale`.
+    Gemm,
+    /// HotSpot-2D with temporal blocking (§IV-B).
+    Hotspot,
+    /// CSR-Adaptive SpMV (§IV-C).
+    Spmv,
+}
+
+impl ServiceJobKind {
+    /// All kinds, in the round-robin order traces cycle through.
+    pub const ALL: [ServiceJobKind; 3] = [
+        ServiceJobKind::Gemm,
+        ServiceJobKind::Hotspot,
+        ServiceJobKind::Spmv,
+    ];
+
+    /// Short label used in job names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceJobKind::Gemm => "gemm",
+            ServiceJobKind::Hotspot => "hotspot",
+            ServiceJobKind::Spmv => "spmv",
+        }
+    }
+}
+
+/// Derive (reservation, per-chunk work) for one tenant of `kind` on
+/// `tree`, scaled down from paper-scale by `1/scale` in linear dimension
+/// (`scale ≥ 1`; larger ⇒ smaller jobs).
+pub fn job_profile(kind: ServiceJobKind, tree: &Tree, scale: u64) -> (JobSpec, ServiceJobKind) {
+    let scale = scale.max(1);
+    let spec = match kind {
+        ServiceJobKind::Gemm => {
+            // One chunk = one block × block tile of C; the staging ring
+            // holds `GEMM_RING` B-shards of the same size.
+            let block = (paper::GEMM_BLOCK as u64 / scale).max(256);
+            let n = (paper::GEMM_N as u64 / scale).max(block);
+            let tile_bytes = block * block * 4;
+            let chunks = ((n / block) * (n / block)) as u32;
+            JobSpec::new(
+                "gemm",
+                staging_reservation(tree, GEMM_RING as u64 * tile_bytes),
+                JobWork::new(chunks)
+                    .read(tile_bytes)
+                    .xfer(tile_bytes)
+                    .compute(SimDur::from_micros(900))
+                    .write(tile_bytes / 4),
+            )
+        }
+        ServiceJobKind::Hotspot => {
+            // One chunk = one trapezoid block per pass; double buffering.
+            let block = (paper::HOTSPOT_BLOCK as u64 / scale).max(256);
+            let n = (paper::HOTSPOT_N as u64 / scale).max(block);
+            let tile_bytes = block * block * 4;
+            let chunks = (2 * (n / block) * (n / block)) as u32;
+            JobSpec::new(
+                "hotspot",
+                staging_reservation(tree, 2 * tile_bytes),
+                JobWork::new(chunks)
+                    .read(tile_bytes)
+                    .xfer(tile_bytes)
+                    .compute(SimDur::from_micros(400))
+                    .write(tile_bytes),
+            )
+        }
+        ServiceJobKind::Spmv => {
+            // One chunk = one nnz-balanced CSR shard (values + indices +
+            // the dense x gather); writeback is just the y slice.
+            let rows = paper::SPMV_ROWS / scale;
+            let nnz = (rows as f64 * paper::SPMV_NNZ_PER_ROW) as u64;
+            let shard_bytes = (nnz * 8 + rows * 4) / crate::calibration::SPMV_CHUNKS as u64;
+            JobSpec::new(
+                "spmv",
+                staging_reservation(tree, shard_bytes),
+                JobWork::new(crate::calibration::SPMV_CHUNKS as u32)
+                    .read(shard_bytes)
+                    .xfer(shard_bytes)
+                    .compute(SimDur::from_micros(250))
+                    .write(rows * 4 / crate::calibration::SPMV_CHUNKS as u64),
+            )
+        }
+    };
+    (spec, kind)
+}
+
+/// Shape of a synthetic arrival trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// RNG seed (same seed ⇒ same trace ⇒ same schedule).
+    pub seed: u64,
+    /// Mean inter-arrival gap in microseconds of virtual time; lower ⇒
+    /// higher offered load.
+    pub mean_gap_us: u64,
+    /// Linear-dimension scale-down from paper-scale inputs.
+    pub scale: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            jobs: 32,
+            seed: 7,
+            mean_gap_us: 2_000,
+            scale: 16,
+        }
+    }
+}
+
+/// Generate a deterministic mixed-application arrival trace: kinds cycle
+/// Gemm → Hotspot → SpMV, priorities and inter-arrival gaps are drawn
+/// from the seeded RNG.
+pub fn synthetic_trace(tree: &Tree, cfg: &TraceConfig) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut at_us: u64 = 0;
+    let mut trace = Vec::with_capacity(cfg.jobs);
+    for i in 0..cfg.jobs {
+        let kind = ServiceJobKind::ALL[i % ServiceJobKind::ALL.len()];
+        let (mut spec, _) = job_profile(kind, tree, cfg.scale);
+        spec.name = format!("{}-{i}", kind.label());
+        spec.priority = match rng.gen_range(0..6u32) {
+            0 => Priority::Interactive,
+            1 | 2 => Priority::Batch,
+            _ => Priority::Normal,
+        };
+        at_us += rng.gen_range(0..cfg.mean_gap_us.max(1) * 2);
+        spec.arrival = SimTime::from_secs_f64(at_us as f64 * 1e-6);
+        trace.push(spec);
+    }
+    trace
+}
+
+/// Replay `trace` through a [`JobScheduler`] with the given policy.
+pub fn run_service(tree: &Tree, trace: Vec<JobSpec>, policy: AdmissionPolicy) -> SchedReport {
+    let mut sched = JobScheduler::new(
+        tree.clone(),
+        SchedulerConfig {
+            policy,
+            ..SchedulerConfig::default()
+        },
+    );
+    for spec in trace {
+        sched.submit(spec);
+    }
+    sched.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup::presets;
+    use northup_hw::catalog;
+    use northup_sched::JobState;
+
+    fn tree() -> Tree {
+        presets::apu_two_level(catalog::ssd_hyperx_predator())
+    }
+
+    #[test]
+    fn profiles_fit_the_apu_staging_level() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let budget = tree.node(dram).mem.capacity;
+        for kind in ServiceJobKind::ALL {
+            let (spec, _) = job_profile(kind, &tree, 16);
+            assert!(
+                spec.reservation.get(dram) > 0 && spec.reservation.get(dram) <= budget,
+                "{:?} reservation must be admissible",
+                kind
+            );
+            assert!(spec.work.chunks > 0);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted_enough() {
+        let tree = tree();
+        let cfg = TraceConfig::default();
+        let t1 = synthetic_trace(&tree, &cfg);
+        let t2 = synthetic_trace(&tree, &cfg);
+        assert_eq!(t1.len(), 32);
+        for (a, b) in t1.iter().zip(t2.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.priority, b.priority);
+        }
+    }
+
+    #[test]
+    fn service_completes_mixed_trace_and_beats_fifo() {
+        let tree = tree();
+        let trace = synthetic_trace(&tree, &TraceConfig::default());
+        let fair = run_service(&tree, trace.clone(), AdmissionPolicy::WeightedFair);
+        let fifo = run_service(&tree, trace, AdmissionPolicy::Fifo);
+        assert!(fair.all_terminal() && fifo.all_terminal());
+        assert!(fair.count(JobState::Done) + fair.count(JobState::Rejected) == fair.jobs.len());
+        assert!(
+            fair.throughput >= fifo.throughput,
+            "fair {:.2} jobs/s vs fifo {:.2} jobs/s",
+            fair.throughput,
+            fifo.throughput
+        );
+    }
+}

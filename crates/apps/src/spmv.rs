@@ -450,16 +450,9 @@ pub fn power_iteration_northup(
             let blocks = bin_rows(&sub, BinningParams::default());
             let mut yv = vec![0.0f32; sub.rows];
             spmv_adaptive(&sub, &blocks, &x_host, &mut yv);
-            y_host[g.row_start as usize..(g.row_start + g.rows) as usize]
-                .copy_from_slice(&yv);
+            y_host[g.row_start as usize..(g.row_start + g.rows) as usize].copy_from_slice(&yv);
             rt.write_slice(y_s, 0, &f32s_to_bytes(&yv))?;
-            rt.move_data(
-                y_stage,
-                g.row_start * 4,
-                y_s,
-                0,
-                g.y_bytes(),
-            )?;
+            rt.move_data(y_stage, g.row_start * 4, y_s, 0, g.y_bytes())?;
             for h in [rp_s, ci_s, va_s, y_s] {
                 rt.release(h)?;
             }
@@ -471,9 +464,20 @@ pub fn power_iteration_northup(
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
         eigenvalue = dot;
-        let norm = y_host.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+        let norm = y_host
+            .iter()
+            .map(|&v| (v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let norm_dur = SimDur::from_secs_f64(rows as f64 * 4.0 / SPMV_REPACK_BW);
-        rt.charge_compute(cpu_node, ProcKind::Cpu, norm_dur, &[y_stage], &[x_stage], "normalize")?;
+        rt.charge_compute(
+            cpu_node,
+            ProcKind::Cpu,
+            norm_dur,
+            &[y_stage],
+            &[x_stage],
+            "normalize",
+        )?;
         for (x, &y) in x_host.iter_mut().zip(&y_host) {
             *x = (y as f64 / norm.max(1e-30)) as f32;
         }
@@ -504,7 +508,11 @@ pub fn spmv_apu(
     storage: northup_hw::DeviceSpec,
     mode: ExecMode,
 ) -> Result<AppRun> {
-    spmv_northup(input, northup::presets::apu_two_level(spmv_storage(storage)), mode)
+    spmv_northup(
+        input,
+        northup::presets::apu_two_level(spmv_storage(storage)),
+        mode,
+    )
 }
 
 #[cfg(test)]

@@ -176,7 +176,8 @@ pub fn run_batch(
         }
         let leaf = *branch.path.last().expect("non-empty path");
         let dur = model_for(&branch.proc_name).stencil_time(cells, steps);
-        let served = rt.charge_compute(leaf, branch.proc, dur, &[cur], &[cur], &format!("job {j}"))?;
+        let served =
+            rt.charge_compute(leaf, branch.proc, dur, &[cur], &[cur], &format!("job {j}"))?;
         if dispatch == Dispatch::ShortestQueue {
             let id = wq.enqueue(branch.path[0], 0, format!("job {j}"));
             inflight.push((served.end, branch.path[0], id));
@@ -272,9 +273,22 @@ mod tests {
         // With the paper's HDD at the root, the storage serializes the
         // batch and the dispatch policy stops mattering — the scheduling
         // insight cuts both ways.
-        let rr = run_batch(presets::asymmetric_fig2(), 30, 512, 16, Dispatch::RoundRobin).unwrap();
-        let ef =
-            run_batch(presets::asymmetric_fig2(), 30, 512, 16, Dispatch::EarliestFinish).unwrap();
+        let rr = run_batch(
+            presets::asymmetric_fig2(),
+            30,
+            512,
+            16,
+            Dispatch::RoundRobin,
+        )
+        .unwrap();
+        let ef = run_batch(
+            presets::asymmetric_fig2(),
+            30,
+            512,
+            16,
+            Dispatch::EarliestFinish,
+        )
+        .unwrap();
         let ratio = rr.run.makespan().as_secs_f64() / ef.run.makespan().as_secs_f64();
         assert!((0.9..1.2).contains(&ratio), "ratio {ratio}");
     }
@@ -299,10 +313,16 @@ mod tests {
             sq.run.makespan().as_secs_f64(),
             ef.run.makespan().as_secs_f64(),
         );
-        assert!(t_sq < 0.7 * t_rr, "queue depths beat round-robin: {t_sq} vs {t_rr}");
+        assert!(
+            t_sq < 0.7 * t_rr,
+            "queue depths beat round-robin: {t_sq} vs {t_rr}"
+        );
         // Depth is a weaker signal than projected finish times (it ignores
         // branch service rates), so SQ lands between RR and EF.
-        assert!(t_sq <= t_ef * 2.0, "within 2x of earliest-finish: {t_sq} vs {t_ef}");
+        assert!(
+            t_sq <= t_ef * 2.0,
+            "within 2x of earliest-finish: {t_sq} vs {t_ef}"
+        );
         assert!(t_ef <= t_sq, "finish-time projection dominates depth-only");
         let total: usize = sq.per_leaf.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 60);
@@ -326,10 +346,22 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = run_batch(presets::asymmetric_fig2(), 30, 256, 8, Dispatch::EarliestFinish)
-            .unwrap();
-        let b = run_batch(presets::asymmetric_fig2(), 30, 256, 8, Dispatch::EarliestFinish)
-            .unwrap();
+        let a = run_batch(
+            presets::asymmetric_fig2(),
+            30,
+            256,
+            8,
+            Dispatch::EarliestFinish,
+        )
+        .unwrap();
+        let b = run_batch(
+            presets::asymmetric_fig2(),
+            30,
+            256,
+            8,
+            Dispatch::EarliestFinish,
+        )
+        .unwrap();
         assert_eq!(a.run.makespan(), b.run.makespan());
         assert_eq!(a.per_leaf, b.per_leaf);
     }

@@ -45,8 +45,7 @@ fn ablation_temporal_blocking(c: &mut Criterion) {
             passes: 64 / steps, // constant total simulated steps
             ..HotspotConfig::paper()
         };
-        let base =
-            northup_apps::hotspot_in_memory(&cfg, ExecMode::Modeled).unwrap();
+        let base = northup_apps::hotspot_in_memory(&cfg, ExecMode::Modeled).unwrap();
         let run = hotspot_apu(&cfg, catalog::hdd_wd5000(), ExecMode::Modeled).unwrap();
         let slowdown = run.slowdown_vs(&base);
         println!("steps/pass {steps}: hotspot hdd slowdown {slowdown:.3}");
@@ -90,7 +89,10 @@ fn ablation_nvm_mapping(c: &mut Criterion) {
         as_memory.makespan()
     );
     for (name, tree) in [
-        ("as-storage", presets::apu_two_level(catalog::nvm_optane_like())),
+        (
+            "as-storage",
+            presets::apu_two_level(catalog::nvm_optane_like()),
+        ),
         ("as-memory", presets::apu_with_nvm_memory()),
     ] {
         group.bench_function(name, |b| {
@@ -111,7 +113,17 @@ fn ablation_layout_transform(c: &mut Criterion) {
     // strided access on the consumer side.
     let rows = 4096usize;
     let cols = 4096usize;
-    for (name, transform) in [("plain", None), ("transpose", Some(Transform::RowToCol { rows, cols, elem: 4 }))] {
+    for (name, transform) in [
+        ("plain", None),
+        (
+            "transpose",
+            Some(Transform::RowToCol {
+                rows,
+                cols,
+                elem: 4,
+            }),
+        ),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let rt = Runtime::new(

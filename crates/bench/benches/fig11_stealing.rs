@@ -9,11 +9,9 @@ fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11");
     for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
         for q in [8usize, 16, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("({m},{n})"), q),
-                &q,
-                |b, &q| b.iter(|| fig11_speedup(m, n, q)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("({m},{n})"), q), &q, |b, &q| {
+                b.iter(|| fig11_speedup(m, n, q))
+            });
         }
     }
     group.finish();

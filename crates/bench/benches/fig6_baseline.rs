@@ -11,23 +11,33 @@ use northup_hw::catalog;
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
     for app in App::ALL {
-        group.bench_with_input(BenchmarkId::new("in-memory", app.label()), &app, |b, &app| {
-            b.iter(|| run_in_memory(app).unwrap().makespan())
-        });
-        group.bench_with_input(BenchmarkId::new("northup-ssd", app.label()), &app, |b, &app| {
-            b.iter(|| {
-                run_northup_apu(app, catalog::ssd_hyperx_predator())
-                    .unwrap()
-                    .makespan()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("northup-hdd", app.label()), &app, |b, &app| {
-            b.iter(|| {
-                run_northup_apu(app, catalog::hdd_wd5000())
-                    .unwrap()
-                    .makespan()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("in-memory", app.label()),
+            &app,
+            |b, &app| b.iter(|| run_in_memory(app).unwrap().makespan()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("northup-ssd", app.label()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    run_northup_apu(app, catalog::ssd_hyperx_predator())
+                        .unwrap()
+                        .makespan()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("northup-hdd", app.label()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    run_northup_apu(app, catalog::hdd_wd5000())
+                        .unwrap()
+                        .makespan()
+                })
+            },
+        );
     }
     group.finish();
 

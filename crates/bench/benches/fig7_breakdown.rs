@@ -14,19 +14,15 @@ fn bench_fig7(c: &mut Criterion) {
             ("hdd", catalog::hdd_wd5000()),
             ("ssd", catalog::ssd_hyperx_predator()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(storage, app.label()),
-                &app,
-                |b, &app| {
-                    b.iter(|| {
-                        run_northup_apu(app, spec.clone())
-                            .unwrap()
-                            .report
-                            .breakdown
-                            .share(Category::GpuCompute)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(storage, app.label()), &app, |b, &app| {
+                b.iter(|| {
+                    run_northup_apu(app, spec.clone())
+                        .unwrap()
+                        .report
+                        .breakdown
+                        .share(Category::GpuCompute)
+                })
+            });
         }
     }
     group.finish();
@@ -34,16 +30,31 @@ fn bench_fig7(c: &mut Criterion) {
     let rows = fig7().expect("fig7");
     println!("\nFig 7 series (gpu share of busy time):");
     for r in &rows {
-        println!("  {:<14} {:<4} gpu {:.1}% io {:.1}%", r.app.label(), r.storage, 100.0 * r.gpu, 100.0 * r.io);
+        println!(
+            "  {:<14} {:<4} gpu {:.1}% io {:.1}%",
+            r.app.label(),
+            r.storage,
+            100.0 * r.gpu,
+            100.0 * r.io
+        );
     }
     // Paper shapes: GPU share rises from hdd to ssd for every app, and the
     // CSR runs charge visible CPU (binning) time.
     for app in App::ALL {
-        let hdd = rows.iter().find(|r| r.app == app && r.storage == "hdd").unwrap();
-        let ssd = rows.iter().find(|r| r.app == app && r.storage == "ssd").unwrap();
+        let hdd = rows
+            .iter()
+            .find(|r| r.app == app && r.storage == "hdd")
+            .unwrap();
+        let ssd = rows
+            .iter()
+            .find(|r| r.app == app && r.storage == "ssd")
+            .unwrap();
         assert!(ssd.gpu > hdd.gpu);
     }
-    assert!(rows.iter().filter(|r| r.app == App::Spmv).all(|r| r.cpu > 0.01));
+    assert!(rows
+        .iter()
+        .filter(|r| r.app == App::Spmv)
+        .all(|r| r.cpu > 0.01));
 }
 
 criterion_group!(benches, bench_fig7);

@@ -9,13 +9,17 @@ use northup_hw::catalog;
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     for app in App::ALL {
-        group.bench_with_input(BenchmarkId::new("3-level-hdd", app.label()), &app, |b, &app| {
-            b.iter(|| {
-                run_northup_discrete(app, catalog::hdd_wd5000())
-                    .unwrap()
-                    .makespan()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("3-level-hdd", app.label()),
+            &app,
+            |b, &app| {
+                b.iter(|| {
+                    run_northup_discrete(app, catalog::hdd_wd5000())
+                        .unwrap()
+                        .makespan()
+                })
+            },
+        );
     }
     group.finish();
 

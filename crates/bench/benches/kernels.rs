@@ -15,7 +15,9 @@ fn bench_gemm(c: &mut Criterion) {
     let n = 192;
     let a = DenseMatrix::random(n, n, 1);
     let b = DenseMatrix::random(n, n, 2);
-    group.throughput(Throughput::Elements(gemm_flops(n as u64, n as u64, n as u64) as u64));
+    group.throughput(Throughput::Elements(
+        gemm_flops(n as u64, n as u64, n as u64) as u64,
+    ));
     group.bench_function(BenchmarkId::new("naive", n), |bench| {
         bench.iter(|| {
             let mut cm = DenseMatrix::zeros(n, n);

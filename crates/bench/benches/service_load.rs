@@ -1,0 +1,62 @@
+//! Service-load bench: the multi-tenant scheduler scenario. Measures the
+//! cost of one full deterministic co-simulation of a 32-job mixed trace
+//! per (policy, offered-load) cell, then prints the throughput / latency
+//! / rejection series and asserts the headline shape: concurrent
+//! weighted-fair admission beats strict-FIFO serialization on
+//! non-conflicting jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use northup::presets;
+use northup_apps::{run_service, synthetic_trace, TraceConfig};
+use northup_bench::service_scenario;
+use northup_hw::catalog;
+use northup_sched::AdmissionPolicy;
+
+fn bench_service(c: &mut Criterion) {
+    let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+    let mut group = c.benchmark_group("service");
+    for gap in [500u64, 8_000] {
+        let cfg = TraceConfig {
+            mean_gap_us: gap,
+            ..TraceConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fair", gap), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_service(
+                    &tree,
+                    synthetic_trace(&tree, cfg),
+                    AdmissionPolicy::WeightedFair,
+                )
+                .throughput
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fifo", gap), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_service(&tree, synthetic_trace(&tree, cfg), AdmissionPolicy::Fifo).throughput
+            })
+        });
+    }
+    group.finish();
+
+    let rows = service_scenario();
+    println!("\nService scenario (32 mixed jobs, two-level APU):");
+    println!("  gap(us)   fair(jobs/s)  fifo(jobs/s)  p50(s)   p99(s)   reject");
+    for r in &rows {
+        println!(
+            "  {:>7}   {:>11.2}  {:>11.2}  {:>6.3}  {:>6.3}  {:>5.1}%",
+            r.mean_gap_us,
+            r.fair_throughput,
+            r.fifo_throughput,
+            r.p50_latency_s,
+            r.p99_latency_s,
+            r.rejection_rate * 100.0
+        );
+    }
+    assert!(
+        rows.iter().any(|r| r.fair_throughput > r.fifo_throughput),
+        "weighted-fair must beat strict FIFO at some offered load"
+    );
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

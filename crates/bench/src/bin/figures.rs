@@ -127,8 +127,14 @@ fn print_extensions() {
     {
         use northup_apps::layout::format_study;
         let rows = format_study(&[
-            ("uniform", northup_sparse::gen::uniform_random(3000, 3000, 16, 1)),
-            ("powerlaw", northup_sparse::gen::powerlaw(3000, 3000, 2048, 0.9, 2)),
+            (
+                "uniform",
+                northup_sparse::gen::uniform_random(3000, 3000, 16, 1),
+            ),
+            (
+                "powerlaw",
+                northup_sparse::gen::powerlaw(3000, 3000, 2048, 0.9, 2),
+            ),
         ])
         .expect("format study");
         for r in &rows {
@@ -154,9 +160,8 @@ fn print_extensions() {
         let gpu_only =
             hotspot_split_leaf(&cfg, 1.0, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
                 .expect("gpu only");
-        let split =
-            hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
-                .expect("split");
+        let split = hotspot_split_leaf(&cfg, f, catalog::ssd_hyperx_predator(), ExecMode::Modeled)
+            .expect("split");
         println!(
             "leaf split (hotspot): gpu-only {} vs cpu+gpu split@{:.2} {} ({:.2}x)",
             gpu_only.makespan(),
@@ -167,7 +172,6 @@ fn print_extensions() {
     }
     println!();
 }
-
 
 fn print_fig6() {
     println!("== Fig 6: normalized runtime (slowdown vs in-memory), APU 2-level ==");

@@ -22,7 +22,9 @@ use northup_apps::{
     fig11_speedup, hotspot_apu, hotspot_in_memory, matmul_apu, matmul_in_memory, spmv_apu,
     spmv_in_memory, AppRun, HotspotConfig, MatmulConfig, SpmvInput,
 };
+use northup_apps::{run_service, synthetic_trace, TraceConfig};
 use northup_hw::{catalog, DeviceSpec};
+use northup_sched::AdmissionPolicy;
 use northup_sim::{Category, SimDur};
 use serde::{Deserialize, Serialize};
 
@@ -406,7 +408,11 @@ pub fn caching_study() -> Result<CachingStudy, NorthupError> {
     // streams from the SSD (Northup *knows* the working set is reused, so
     // it pins it one level up — no per-block fills, no tag checks).
     let mut b = northup::TreeBuilder::new(catalog::hdd_wd5000());
-    let ssd = b.add_child(northup::NodeId(0), catalog::ssd_hyperx_predator(), catalog::dram_dma_link());
+    let ssd = b.add_child(
+        northup::NodeId(0),
+        catalog::ssd_hyperx_predator(),
+        catalog::dram_dma_link(),
+    );
     let dram = b.add_child(ssd, catalog::dram_staging_2gb(), catalog::dram_dma_link());
     b.attach_processor(
         dram,
@@ -416,13 +422,16 @@ pub fn caching_study() -> Result<CachingStudy, NorthupError> {
     let file = rt.alloc(reuse_mb << 20, rt.tree().root())?;
     let pinned = rt.alloc(reuse_mb << 20, ssd)?;
     rt.move_data(pinned, 0, file, 0, reuse_mb << 20)?;
-    let stage = [
-        rt.alloc(1 << 20, dram)?,
-        rt.alloc(1 << 20, dram)?,
-    ];
+    let stage = [rt.alloc(1 << 20, dram)?, rt.alloc(1 << 20, dram)?];
     for p in 0..passes {
         for mb in 0..reuse_mb {
-            rt.move_data(stage[((p * reuse_mb + mb) % 2) as usize], 0, pinned, mb << 20, 1 << 20)?;
+            rt.move_data(
+                stage[((p * reuse_mb + mb) % 2) as usize],
+                0,
+                pinned,
+                mb << 20,
+                1 << 20,
+            )?;
         }
     }
     let explicit_reuse = rt.makespan();
@@ -458,6 +467,59 @@ pub fn headline() -> Result<Headline, NorthupError> {
     }
     let average = gaps.iter().map(|(_, g)| g).sum::<f64>() / gaps.len() as f64;
     Ok(Headline { gaps, average })
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant service scenario (northup-sched)
+// ---------------------------------------------------------------------------
+
+/// One offered-load point of the multi-tenant service scenario: the same
+/// mixed GEMM/HotSpot/SpMV arrival trace replayed under weighted-fair
+/// admission and under the strict-FIFO baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceRow {
+    /// Mean virtual inter-arrival gap (µs); smaller ⇒ higher offered load.
+    pub mean_gap_us: u64,
+    /// Completed jobs per virtual second, weighted-fair admission.
+    pub fair_throughput: f64,
+    /// Completed jobs per virtual second, strict-FIFO serialization.
+    pub fifo_throughput: f64,
+    /// Median arrival→finish latency (s), weighted-fair.
+    pub p50_latency_s: f64,
+    /// 99th-percentile arrival→finish latency (s), weighted-fair.
+    pub p99_latency_s: f64,
+    /// Rejected / submitted, weighted-fair (backpressure at high load).
+    pub rejection_rate: f64,
+}
+
+/// Sweep offered load for a 32-job mixed trace on the two-level APU:
+/// throughput (jobs/s), p50/p99 virtual-time latency, and rejection rate
+/// vs. the arrival gap, with the strict-FIFO baseline alongside.
+pub fn service_scenario() -> Vec<ServiceRow> {
+    let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+    [500u64, 2_000, 8_000, 32_000]
+        .iter()
+        .map(|&gap| {
+            let cfg = TraceConfig {
+                mean_gap_us: gap,
+                ..TraceConfig::default()
+            };
+            let fair = run_service(
+                &tree,
+                synthetic_trace(&tree, &cfg),
+                AdmissionPolicy::WeightedFair,
+            );
+            let fifo = run_service(&tree, synthetic_trace(&tree, &cfg), AdmissionPolicy::Fifo);
+            ServiceRow {
+                mean_gap_us: gap,
+                fair_throughput: fair.throughput,
+                fifo_throughput: fifo.throughput,
+                p50_latency_s: fair.p50_latency.as_secs_f64(),
+                p99_latency_s: fair.p99_latency.as_secs_f64(),
+                rejection_rate: fair.rejection_rate,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -587,6 +649,22 @@ mod tests {
             explicit <= cached,
             "explicit {explicit} should match/beat cache {cached} on reuse"
         );
+    }
+
+    #[test]
+    fn service_scenario_fair_beats_fifo_somewhere() {
+        let rows = service_scenario();
+        assert_eq!(rows.len(), 4);
+        // Acceptance: concurrent admission of non-conflicting jobs yields
+        // higher aggregate throughput than strict FIFO serialization.
+        assert!(
+            rows.iter().any(|r| r.fair_throughput > r.fifo_throughput),
+            "{rows:?}"
+        );
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.rejection_rate));
+            assert!(r.p99_latency_s >= r.p50_latency_s);
+        }
     }
 
     #[test]

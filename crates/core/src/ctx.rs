@@ -150,7 +150,8 @@ impl<'rt> Ctx<'rt> {
         src_off: u64,
         len: u64,
     ) -> Result<Served> {
-        self.rt.move_data_down(self.node, dst, dst_off, src, src_off, len)
+        self.rt
+            .move_data_down(self.node, dst, dst_off, src, src_off, len)
     }
 
     /// `data_up`: move from a buffer on this node into a buffer on the parent.
@@ -162,7 +163,8 @@ impl<'rt> Ctx<'rt> {
         src_off: u64,
         len: u64,
     ) -> Result<Served> {
-        self.rt.move_data_up(self.node, dst, dst_off, src, src_off, len)
+        self.rt
+            .move_data_up(self.node, dst, dst_off, src, src_off, len)
     }
 
     /// Launch a leaf computation here (see [`Runtime::charge_compute`]).
@@ -174,7 +176,8 @@ impl<'rt> Ctx<'rt> {
         writes: &[BufferHandle],
         label: &str,
     ) -> Result<Served> {
-        self.rt.charge_compute(self.node, kind, dur, reads, writes, label)
+        self.rt
+            .charge_compute(self.node, kind, dur, reads, writes, label)
     }
 
     /// Remaining capacity here (drives blocking-size decisions).

@@ -293,10 +293,20 @@ mod tests {
         let b = BufferHandle(2);
         // write a; read a (compute into b); overwrite a.
         rec.record("w", Category::FileIo, SimDur::from_millis(5), &[], &[a]);
-        rec.record("c", Category::GpuCompute, SimDur::from_millis(9), &[a], &[b]);
+        rec.record(
+            "c",
+            Category::GpuCompute,
+            SimDur::from_millis(9),
+            &[a],
+            &[b],
+        );
         rec.record("w2", Category::FileIo, SimDur::from_millis(5), &[], &[a]);
         let dag = rec.snapshot();
-        assert!(dag.edges.contains(&(1, 2)), "WAR edge reader->overwriter: {:?}", dag.edges);
+        assert!(
+            dag.edges.contains(&(1, 2)),
+            "WAR edge reader->overwriter: {:?}",
+            dag.edges
+        );
         let (cp, _) = dag.critical_path();
         assert_eq!(cp, SimDur::from_millis(19));
     }

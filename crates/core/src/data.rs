@@ -24,7 +24,7 @@
 //! staging capacity allows.
 
 use crate::error::{NorthupError, Result};
-use crate::runtime::{ExecMode, Runtime, RtInner};
+use crate::runtime::{ExecMode, RtInner, Runtime};
 use crate::topology::{NodeId, ProcKind};
 use northup_hw::{BlockId, Dir, StorageClass};
 use northup_sim::{transfer_time, Category, Served, SimDur, SimTime};
@@ -76,7 +76,25 @@ impl Runtime {
         let class = self.tree().storage_class(node);
         let cost = self.setup_costs().alloc(class);
         let mut g = self.inner.lock();
-        let block = g.backends[node.0].alloc(size)?;
+        let lease = g.lease.clone();
+        if let Some(lease) = &lease {
+            lease
+                .try_charge(node, size)
+                .map_err(|remaining| NorthupError::LeaseExceeded {
+                    node,
+                    requested: size,
+                    remaining,
+                })?;
+        }
+        let block = match g.backends[node.0].alloc(size) {
+            Ok(block) => block,
+            Err(e) => {
+                if let Some(lease) = &lease {
+                    lease.credit(node, size);
+                }
+                return Err(NorthupError::Hw(e));
+            }
+        };
         let served = g.node_res[node.0].serve_for(SimTime::ZERO, cost);
         g.timeline.record(
             served.start,
@@ -96,6 +114,9 @@ impl Runtime {
                 last_read_end: served.end,
             },
         );
+        if let Some(lease) = lease {
+            g.charged.insert(h.0, lease);
+        }
         g.dag_record(
             &format!("alloc {size}B @{node}"),
             Category::BufferSetup,
@@ -130,6 +151,9 @@ impl Runtime {
         );
         g.backends[info.node.0].release(info.block)?;
         g.buffers.remove(&h.0);
+        if let Some(lease) = g.charged.remove(&h.0) {
+            lease.credit(info.node, info.size);
+        }
         Ok(())
     }
 
@@ -389,9 +413,7 @@ impl Runtime {
                         .is_some()
                         .then_some(src_node)
                         .filter(|&n| tree.parent(n) == Some(dst_node))
-                        .or_else(|| {
-                            (tree.parent(dst_node) == Some(src_node)).then_some(dst_node)
-                        })
+                        .or_else(|| (tree.parent(dst_node) == Some(src_node)).then_some(dst_node))
                         .ok_or(NorthupError::NotAdjacent(src_node, dst_node))?;
                     category = if sc == StorageClass::Device || dc == StorageClass::Device {
                         Category::DeviceTransfer
@@ -532,7 +554,8 @@ mod tests {
         let t_read = 1e6 / 1.4e9;
         let t_write = 1e6 / 0.6e9;
         let io_busy = report.breakdown.get(Category::FileIo).as_secs_f64();
-        let expect = t_read + t_write
+        let expect = t_read
+            + t_write
             + catalog::ssd_hyperx_predator().read_latency.as_secs_f64()
             + catalog::ssd_hyperx_predator().write_latency.as_secs_f64();
         assert!((io_busy - expect).abs() < 1e-6, "{io_busy} vs {expect}");
@@ -713,10 +736,24 @@ mod tests {
         let rt = Runtime::new(tree, ExecMode::Real).unwrap();
         // GPU is on node 2, not node 1.
         assert!(matches!(
-            rt.charge_compute(NodeId(1), ProcKind::Gpu, SimDur::from_millis(1), &[], &[], "x"),
+            rt.charge_compute(
+                NodeId(1),
+                ProcKind::Gpu,
+                SimDur::from_millis(1),
+                &[],
+                &[],
+                "x"
+            ),
             Err(NorthupError::NoProcessor(_))
         ));
-        rt.charge_compute(NodeId(1), ProcKind::Cpu, SimDur::from_millis(1), &[], &[], "x")
-            .unwrap();
+        rt.charge_compute(
+            NodeId(1),
+            ProcKind::Cpu,
+            SimDur::from_millis(1),
+            &[],
+            &[],
+            "x",
+        )
+        .unwrap();
     }
 }

@@ -37,6 +37,16 @@ pub enum NorthupError {
         /// Buffer size.
         size: u64,
     },
+    /// An allocation would overrun the installed capacity lease (the job's
+    /// admitted reservation on that node — see `northup-sched`).
+    LeaseExceeded {
+        /// The node whose reservation ran out.
+        node: NodeId,
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes still unused in the lease on that node.
+        remaining: u64,
+    },
 }
 
 impl fmt::Display for NorthupError {
@@ -60,6 +70,14 @@ impl fmt::Display for NorthupError {
             } => write!(
                 f,
                 "range [{offset}, {offset}+{len}) out of bounds for buffer {buffer:?} of {size} B"
+            ),
+            NorthupError::LeaseExceeded {
+                node,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "capacity lease exhausted on {node}: requested {requested} B, {remaining} B left"
             ),
         }
     }

@@ -56,11 +56,12 @@ pub mod ctx;
 pub mod dag;
 pub mod data;
 pub mod error;
+pub mod lease;
 pub mod pipeline;
 pub mod plan;
 pub mod presets;
-pub mod queues;
 pub mod projection;
+pub mod queues;
 pub mod runtime;
 pub mod topology;
 pub mod transform;
@@ -69,6 +70,7 @@ pub use ctx::Ctx;
 pub use dag::{DagNode, TaskDag};
 pub use data::BufferHandle;
 pub use error::{NorthupError, Result};
+pub use lease::CapacityLease;
 pub use pipeline::ChunkPipeline;
 pub use plan::{plan_blocks, pow2_candidates, BlockPlan, DEFAULT_HEADROOM};
 pub use projection::{project_run, project_sweep, Projection, FIG9_SWEEP};

@@ -21,7 +21,11 @@ fn apu_cpu_proc() -> ProcessorDesc {
 /// Node ids: `n0` = storage, `n1` = DRAM leaf.
 pub fn apu_two_level(storage: DeviceSpec) -> Tree {
     let mut b = TreeBuilder::new(storage);
-    let dram = b.add_child(NodeId(0), catalog::dram_staging_2gb(), catalog::dram_dma_link());
+    let dram = b.add_child(
+        NodeId(0),
+        catalog::dram_staging_2gb(),
+        catalog::dram_dma_link(),
+    );
     b.attach_processor(dram, apu_gpu_proc());
     b.attach_processor(dram, apu_cpu_proc());
     b.build()
@@ -35,7 +39,11 @@ pub fn apu_two_level(storage: DeviceSpec) -> Tree {
 /// Node ids: `n0` = storage, `n1` = DRAM, `n2` = GPU device memory leaf.
 pub fn discrete_gpu_three_level(storage: DeviceSpec) -> Tree {
     let mut b = TreeBuilder::new(storage);
-    let dram = b.add_child(NodeId(0), catalog::dram_staging_2gb(), catalog::dram_dma_link());
+    let dram = b.add_child(
+        NodeId(0),
+        catalog::dram_staging_2gb(),
+        catalog::dram_dma_link(),
+    );
     b.attach_processor(dram, ProcessorDesc::new(ProcKind::Cpu, "host-cpu", 8 << 20));
     let gpumem = b.add_child(dram, catalog::gpu_devmem_w9100(), catalog::pcie3_x16());
     b.attach_processor(gpumem, ProcessorDesc::new(ProcKind::Gpu, "w9100", 1 << 20));
@@ -64,16 +72,24 @@ pub fn asymmetric_fig2() -> Tree {
 /// batch studies are not bottlenecked by the shared root device).
 pub fn asymmetric_fig2_with(storage: DeviceSpec) -> Tree {
     let mut b = TreeBuilder::new(storage); // n0
-    // Subtree 1: DRAM leaf with a CPU.
+                                           // Subtree 1: DRAM leaf with a CPU.
     let n1 = b.add_child(NodeId(0), catalog::dram_16gb(), catalog::dram_dma_link());
     b.attach_processor(n1, ProcessorDesc::new(ProcKind::Cpu, "cpu0", 8 << 20));
     // Subtree 2: NVM -> DRAM -> GPU device memory.
-    let n2 = b.add_child(NodeId(0), catalog::nvm_optane_like(), catalog::dram_dma_link());
+    let n2 = b.add_child(
+        NodeId(0),
+        catalog::nvm_optane_like(),
+        catalog::dram_dma_link(),
+    );
     let n4 = b.add_child(n2, catalog::dram_staging_2gb(), catalog::dram_dma_link());
     let n5 = b.add_child(n4, catalog::gpu_devmem_4gb(), catalog::pcie3_x16());
     b.attach_processor(n5, ProcessorDesc::new(ProcKind::Gpu, "gpu0", 1 << 20));
     // Subtree 3: DRAM with two accelerator children (nodes 6 and 7).
-    let n3 = b.add_child(NodeId(0), catalog::dram_staging_2gb(), catalog::dram_dma_link());
+    let n3 = b.add_child(
+        NodeId(0),
+        catalog::dram_staging_2gb(),
+        catalog::dram_dma_link(),
+    );
     let n6 = b.add_child(n3, catalog::stacked_dram_4gb(), catalog::dram_dma_link());
     b.attach_processor(n6, ProcessorDesc::new(ProcKind::Gpu, "pim", 512 << 10));
     let n7 = b.add_child(n3, catalog::gpu_devmem_4gb(), catalog::pcie3_x16());
@@ -102,7 +118,11 @@ pub fn exascale_node() -> Tree {
 pub fn cluster(gpu_nodes: usize, cpu_nodes: usize) -> Tree {
     let mut b = TreeBuilder::new(catalog::parallel_fs());
     for i in 0..gpu_nodes {
-        let nvm = b.add_child(NodeId(0), catalog::nvm_optane_like(), catalog::infiniband_edr());
+        let nvm = b.add_child(
+            NodeId(0),
+            catalog::nvm_optane_like(),
+            catalog::infiniband_edr(),
+        );
         let dram = b.add_child(nvm, catalog::dram_16gb(), catalog::dram_dma_link());
         b.attach_processor(dram, ProcessorDesc::new(ProcKind::Cpu, "host-cpu", 8 << 20));
         let gpu = b.add_child(dram, catalog::gpu_devmem_w9100(), catalog::pcie3_x16());
@@ -110,7 +130,11 @@ pub fn cluster(gpu_nodes: usize, cpu_nodes: usize) -> Tree {
         let _ = i;
     }
     for _ in 0..cpu_nodes {
-        let nvm = b.add_child(NodeId(0), catalog::nvm_optane_like(), catalog::infiniband_edr());
+        let nvm = b.add_child(
+            NodeId(0),
+            catalog::nvm_optane_like(),
+            catalog::infiniband_edr(),
+        );
         let dram = b.add_child(nvm, catalog::dram_16gb(), catalog::dram_dma_link());
         b.attach_processor(dram, ProcessorDesc::new(ProcKind::Cpu, "cpu0", 8 << 20));
     }
@@ -157,9 +181,7 @@ mod tests {
     fn in_memory_has_no_file_level() {
         let t = in_memory();
         assert_eq!(t.len(), 1);
-        assert!(t
-            .nodes()
-            .all(|n| n.mem.class != StorageClass::File));
+        assert!(t.nodes().all(|n| n.mem.class != StorageClass::File));
     }
 
     #[test]

@@ -46,11 +46,7 @@ pub fn project_run(report: &RunReport, device: &str, point: BwPoint) -> Projecti
         .unwrap_or_default();
     let io_measured = report.breakdown.get(Category::FileIo);
     let io_time = replay(totals, point);
-    let overall = report
-        .breakdown
-        .makespan
-        .saturating_sub(io_measured)
-        + io_time;
+    let overall = report.breakdown.makespan.saturating_sub(io_measured) + io_time;
     Projection {
         read_bw: point.read_bw,
         write_bw: point.write_bw,

@@ -32,8 +32,8 @@ pub enum ExecMode {
 }
 
 /// Per-storage-class fixed costs of buffer setup/teardown (file open/close
-/// + metadata, malloc, clCreateBuffer/clReleaseMemObject). These feed the
-/// "buffer setup" category of the paper's Figs. 7 and 8.
+/// plus metadata, malloc, clCreateBuffer/clReleaseMemObject). These feed
+/// the "buffer setup" category of the paper's Figs. 7 and 8.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SetupCosts {
     /// File allocation (open + create).
@@ -102,6 +102,12 @@ pub(crate) struct RtInner {
     pub active: Vec<u64>,
     /// Optional §III-C dependency-graph recorder.
     pub dag: Option<DagRecorder>,
+    /// Optional capacity lease: the admitted reservation `alloc` draws from
+    /// when this runtime executes one job of a multi-tenant schedule.
+    pub lease: Option<std::sync::Arc<crate::lease::CapacityLease>>,
+    /// Which lease each live buffer was charged to, so `release` credits
+    /// the right accounting even if the installed lease changed since.
+    pub charged: HashMap<u64, std::sync::Arc<crate::lease::CapacityLease>>,
 }
 
 impl RtInner {
@@ -166,7 +172,8 @@ impl Runtime {
                     ExecMode::Modeled => Box::new(PhantomBackend::new(&spec.name, spec.capacity)),
                     ExecMode::Real => match spec.class {
                         StorageClass::File => Box::new(
-                            FileBackend::new(&spec.name, spec.capacity).map_err(NorthupError::Hw)?,
+                            FileBackend::new(&spec.name, spec.capacity)
+                                .map_err(NorthupError::Hw)?,
                         ),
                         _ => Box::new(HeapBackend::new(&spec.name, spec.capacity)),
                     },
@@ -203,6 +210,8 @@ impl Runtime {
                 spawned: vec![0; n],
                 active: vec![0; n],
                 dag: None,
+                lease: None,
+                charged: HashMap::new(),
             }),
         })
     }
@@ -266,11 +275,10 @@ impl Runtime {
     pub fn report(&self) -> RunReport {
         let g = self.inner.lock();
         let breakdown = g.timeline.breakdown();
-        let io: Vec<(String, northup_hw::IoTotals)> = g
-            .io
-            .devices()
-            .map(|(name, t)| (name.to_string(), t))
-            .collect();
+        let io: Vec<(String, northup_hw::IoTotals)> =
+            g.io.devices()
+                .map(|(name, t)| (name.to_string(), t))
+                .collect();
         let utilization = g
             .node_res
             .iter()
@@ -330,6 +338,24 @@ impl Runtime {
             .as_ref()
             .map(|d| d.snapshot())
             .unwrap_or_default()
+    }
+
+    /// Install a capacity lease: subsequent `alloc`s charge the lease on
+    /// the buffer's node and `release`s credit it back. Replaces any
+    /// previously installed lease (buffers charged to the old lease still
+    /// credit the old lease's accounting through its shared `Arc`).
+    pub fn install_lease(&self, lease: std::sync::Arc<crate::lease::CapacityLease>) {
+        self.inner.lock().lease = Some(lease);
+    }
+
+    /// Remove the installed capacity lease; allocations become unmetered.
+    pub fn clear_lease(&self) {
+        self.inner.lock().lease = None;
+    }
+
+    /// The currently installed capacity lease, if any.
+    pub fn lease(&self) -> Option<std::sync::Arc<crate::lease::CapacityLease>> {
+        self.inner.lock().lease.clone()
     }
 
     /// Record an explicit runtime-overhead span (tree lookups, queue

@@ -344,7 +344,11 @@ mod tests {
 
     fn sample_tree() -> Tree {
         let mut b = TreeBuilder::new(catalog::ssd_hyperx_predator());
-        let dram = b.add_child(NodeId(0), catalog::dram_staging_2gb(), catalog::dram_dma_link());
+        let dram = b.add_child(
+            NodeId(0),
+            catalog::dram_staging_2gb(),
+            catalog::dram_dma_link(),
+        );
         let gpu = b.add_child(dram, catalog::gpu_devmem_4gb(), catalog::pcie3_x16());
         b.attach_processor(gpu, ProcessorDesc::new(ProcKind::Gpu, "gpu", 1 << 20));
         b.attach_processor(dram, ProcessorDesc::new(ProcKind::Cpu, "cpu", 4 << 20));
@@ -402,7 +406,11 @@ mod tests {
     #[test]
     fn asymmetric_branches() {
         let mut b = TreeBuilder::new(catalog::hdd_wd5000());
-        let a = b.add_child(NodeId(0), catalog::dram_staging_2gb(), catalog::dram_dma_link());
+        let a = b.add_child(
+            NodeId(0),
+            catalog::dram_staging_2gb(),
+            catalog::dram_dma_link(),
+        );
         let _leaf1 = b.add_child(a, catalog::gpu_devmem_4gb(), catalog::pcie3_x16());
         let _leaf2 = b.add_child(a, catalog::stacked_dram_4gb(), catalog::dram_dma_link());
         let bnode = b.add_child(NodeId(0), catalog::dram_16gb(), catalog::dram_dma_link());

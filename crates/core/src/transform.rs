@@ -163,7 +163,11 @@ impl Runtime {
                 buffer: if src_size != bytes { src } else { dst },
                 offset: 0,
                 len: bytes,
-                size: if src_size != bytes { src_size } else { dst_size },
+                size: if src_size != bytes {
+                    src_size
+                } else {
+                    dst_size
+                },
             });
         }
 
@@ -274,7 +278,8 @@ mod tests {
         };
         let src = rt.alloc(8, rt.tree().root()).unwrap();
         let dst = rt.alloc(8, crate::topology::NodeId(1)).unwrap();
-        rt.write_slice(src, 0, &[0, 1, 10, 11, 20, 21, 30, 31]).unwrap();
+        rt.write_slice(src, 0, &[0, 1, 10, 11, 20, 21, 30, 31])
+            .unwrap();
         rt.move_data_transform(dst, src, t).unwrap();
         let mut out = [0u8; 8];
         rt.read_slice(dst, 0, &mut out).unwrap();

@@ -188,7 +188,6 @@ impl<T: Send> Worker<T> {
             None
         }
     }
-
 }
 
 impl<T> Stealer<T> {
@@ -240,7 +239,6 @@ impl<T: Send> Stealer<T> {
             }
         }
     }
-
 }
 
 impl<T> Drop for Worker<T> {

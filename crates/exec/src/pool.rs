@@ -220,7 +220,12 @@ impl ThreadPool {
 
     /// Parallel loop over `0..n` in chunks of `grain`, calling
     /// `f(start..end)` for each chunk.
-    pub fn par_for(&self, n: usize, grain: usize, f: impl Fn(std::ops::Range<usize>) + Sync + Send) {
+    pub fn par_for(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(std::ops::Range<usize>) + Sync + Send,
+    ) {
         if n == 0 {
             return;
         }
@@ -392,7 +397,10 @@ mod tests {
         });
         assert_eq!(data[0], 0);
         assert_eq!(data[63], 7);
-        assert!(data.chunks(8).enumerate().all(|(i, c)| c.iter().all(|&v| v == i as u32)));
+        assert!(data
+            .chunks(8)
+            .enumerate()
+            .all(|(i, c)| c.iter().all(|&v| v == i as u32)));
     }
 
     #[test]

@@ -182,7 +182,10 @@ impl StorageBackend for HeapBackend {
     }
 
     fn read(&mut self, block: BlockId, offset: u64, dst: &mut [u8]) -> HwResult<()> {
-        let buf = self.blocks.get(&block.0).ok_or(HwError::InvalidBlock(block))?;
+        let buf = self
+            .blocks
+            .get(&block.0)
+            .ok_or(HwError::InvalidBlock(block))?;
         check_bounds(block, offset, dst.len() as u64, buf.len() as u64)?;
         let o = offset as usize;
         dst.copy_from_slice(&buf[o..o + dst.len()]);
@@ -331,14 +334,20 @@ impl StorageBackend for FileBackend {
     }
 
     fn read(&mut self, block: BlockId, offset: u64, dst: &mut [u8]) -> HwResult<()> {
-        let (file, size) = self.files.get(&block.0).ok_or(HwError::InvalidBlock(block))?;
+        let (file, size) = self
+            .files
+            .get(&block.0)
+            .ok_or(HwError::InvalidBlock(block))?;
         check_bounds(block, offset, dst.len() as u64, *size)?;
         read_at(file, offset, dst)?;
         Ok(())
     }
 
     fn write(&mut self, block: BlockId, offset: u64, src: &[u8]) -> HwResult<()> {
-        let (file, size) = self.files.get(&block.0).ok_or(HwError::InvalidBlock(block))?;
+        let (file, size) = self
+            .files
+            .get(&block.0)
+            .ok_or(HwError::InvalidBlock(block))?;
         check_bounds(block, offset, src.len() as u64, *size)?;
         write_at(file, offset, src)?;
         Ok(())
@@ -415,14 +424,20 @@ impl StorageBackend for PhantomBackend {
     }
 
     fn read(&mut self, block: BlockId, offset: u64, dst: &mut [u8]) -> HwResult<()> {
-        let size = *self.sizes.get(&block.0).ok_or(HwError::InvalidBlock(block))?;
+        let size = *self
+            .sizes
+            .get(&block.0)
+            .ok_or(HwError::InvalidBlock(block))?;
         check_bounds(block, offset, dst.len() as u64, size)?;
         dst.fill(0);
         Ok(())
     }
 
     fn write(&mut self, block: BlockId, offset: u64, src: &[u8]) -> HwResult<()> {
-        let size = *self.sizes.get(&block.0).ok_or(HwError::InvalidBlock(block))?;
+        let size = *self
+            .sizes
+            .get(&block.0)
+            .ok_or(HwError::InvalidBlock(block))?;
         check_bounds(block, offset, src.len() as u64, size)
     }
 

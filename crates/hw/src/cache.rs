@@ -132,11 +132,11 @@ impl CachedDevice {
                     self.stats.evictions += 1;
                 }
                 // Miss: slow read, then fill + read on the fast device.
-                let slow_dur =
-                    transfer_time(self.block, self.slow.read_bw, self.slow.read_latency);
+                let slow_dur = transfer_time(self.block, self.slow.read_bw, self.slow.read_latency);
                 let s = self.slow_res.serve_for(t, slow_dur);
-                let fill_dur = transfer_time(self.block, self.fast.write_bw, self.fast.write_latency)
-                    + transfer_time(self.block, self.fast.read_bw, self.fast.read_latency);
+                let fill_dur =
+                    transfer_time(self.block, self.fast.write_bw, self.fast.write_latency)
+                        + transfer_time(self.block, self.fast.read_bw, self.fast.read_latency);
                 self.fast_res.serve_for(s.end, fill_dur)
             };
             first = first.or(Some(served.start));
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn streaming_beyond_capacity_thrashes() {
         let mut d = dev(16); // 16 MiB cache
-        // Two passes over a 64 MiB stream: everything evicted before reuse.
+                             // Two passes over a 64 MiB stream: everything evicted before reuse.
         for _ in 0..2 {
             for mb in 0..64u64 {
                 d.read(SimTime::ZERO, mb << 20, 1 << 20);

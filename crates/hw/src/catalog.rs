@@ -11,8 +11,14 @@ use northup_sim::SimDur;
 
 /// The paper's SATA hard drive (WD5000AAKX, ~125 MB/s sequential, ~8 ms seek).
 pub fn hdd_wd5000() -> DeviceSpec {
-    DeviceSpec::new("wd5000aakx", DeviceKind::Hdd, gib(500), mb_s(125), mb_s(120))
-        .with_latency(SimDur::from_millis(8), SimDur::from_millis(8))
+    DeviceSpec::new(
+        "wd5000aakx",
+        DeviceKind::Hdd,
+        gib(500),
+        mb_s(125),
+        mb_s(120),
+    )
+    .with_latency(SimDur::from_millis(8), SimDur::from_millis(8))
 }
 
 /// The paper's entry-level PCIe SSD (HyperX Predator: 1400/600 MB/s).
@@ -72,12 +78,24 @@ pub fn stacked_dram_4gb() -> DeviceSpec {
 
 /// FirePro W9100-class device memory (16 GB GDDR5, ~260 GB/s effective).
 pub fn gpu_devmem_w9100() -> DeviceSpec {
-    DeviceSpec::new("w9100-mem", DeviceKind::GpuDevice, gib(16), gb_s(260), gb_s(260))
+    DeviceSpec::new(
+        "w9100-mem",
+        DeviceKind::GpuDevice,
+        gib(16),
+        gb_s(260),
+        gb_s(260),
+    )
 }
 
 /// A smaller discrete-GPU memory for tighter chunking scenarios.
 pub fn gpu_devmem_4gb() -> DeviceSpec {
-    DeviceSpec::new("gpu-mem-4g", DeviceKind::GpuDevice, gib(4), gb_s(224), gb_s(224))
+    DeviceSpec::new(
+        "gpu-mem-4g",
+        DeviceKind::GpuDevice,
+        gib(4),
+        gb_s(224),
+        gb_s(224),
+    )
 }
 
 /// PCIe 3.0 x16-class host<->device link (~12 GB/s effective).

@@ -54,7 +54,7 @@ impl<B: StorageBackend> FaultyBackend<B> {
             return Ok(());
         }
         self.counter += 1;
-        if self.counter % self.fail_every == 0 {
+        if self.counter.is_multiple_of(self.fail_every) {
             self.injected += 1;
             return Err(HwError::Io(io::Error::other("injected device fault")));
         }
@@ -73,12 +73,18 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     }
 
     fn read(&mut self, block: BlockId, offset: u64, dst: &mut [u8]) -> HwResult<()> {
-        self.trip(matches!(self.ops, FaultOps::Reads | FaultOps::ReadsAndWrites))?;
+        self.trip(matches!(
+            self.ops,
+            FaultOps::Reads | FaultOps::ReadsAndWrites
+        ))?;
         self.inner.read(block, offset, dst)
     }
 
     fn write(&mut self, block: BlockId, offset: u64, src: &[u8]) -> HwResult<()> {
-        self.trip(matches!(self.ops, FaultOps::Writes | FaultOps::ReadsAndWrites))?;
+        self.trip(matches!(
+            self.ops,
+            FaultOps::Writes | FaultOps::ReadsAndWrites
+        ))?;
         self.inner.write(block, offset, src)
     }
 
@@ -133,11 +139,7 @@ mod tests {
 
     #[test]
     fn fail_every_one_fails_everything_matching() {
-        let mut b = FaultyBackend::new(
-            HeapBackend::new("x", 1024),
-            FaultOps::ReadsAndWrites,
-            1,
-        );
+        let mut b = FaultyBackend::new(HeapBackend::new("x", 1024), FaultOps::ReadsAndWrites, 1);
         let blk = b.alloc(4).unwrap();
         assert!(b.write(blk, 0, &[0; 4]).is_err());
         let mut buf = [0u8; 4];

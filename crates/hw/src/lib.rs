@@ -32,7 +32,9 @@ pub mod fault;
 pub mod iotrack;
 pub mod spec;
 
-pub use backend::{BlockId, FileBackend, HeapBackend, HwError, HwResult, PhantomBackend, StorageBackend};
+pub use backend::{
+    BlockId, FileBackend, HeapBackend, HwError, HwResult, PhantomBackend, StorageBackend,
+};
 pub use cache::{CacheStats, CachedDevice};
 pub use fault::{FaultOps, FaultyBackend};
 pub use iotrack::{BwPoint, Dir, IoTotals, IoTracker};

@@ -223,7 +223,8 @@ mod tests {
 
     #[test]
     fn bandwidth_scaling() {
-        let d = DeviceSpec::new("ssd", DeviceKind::Ssd, gib(1), 1000.0, 500.0).scaled_bandwidth(0.5);
+        let d =
+            DeviceSpec::new("ssd", DeviceKind::Ssd, gib(1), 1000.0, 500.0).scaled_bandwidth(0.5);
         assert_eq!(d.read_bw, 500.0);
         assert_eq!(d.write_bw, 250.0);
     }

@@ -82,7 +82,10 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if the block exceeds the matrix bounds.
     pub fn extract_block(&self, r0: usize, c0: usize, h: usize, w: usize) -> DenseMatrix {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
         let mut out = DenseMatrix::zeros(h, w);
         for r in 0..h {
             let src = (r0 + r) * self.cols + c0;

@@ -124,10 +124,10 @@ pub fn matmul_packed(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
                     }
                 }
                 // Unpack into C.
-                for ii in 0..ib {
+                for (ii, row) in acc.iter().enumerate().take(ib) {
                     let dst = (i0 + ii) * n + j0;
-                    for jj in 0..jb {
-                        c.data[dst + jj] += acc[ii][jj];
+                    for (cv, &av) in c.data[dst..dst + jb].iter_mut().zip(row) {
+                        *cv += av;
                     }
                 }
             }
@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn tiled_matches_naive() {
-        for &(m, k, n, tile) in &[(5usize, 7usize, 3usize, 2usize), (16, 16, 16, 16), (33, 20, 17, 8)] {
+        for &(m, k, n, tile) in &[
+            (5usize, 7usize, 3usize, 2usize),
+            (16, 16, 16, 16),
+            (33, 20, 17, 8),
+        ] {
             let (a, b) = mats(m, k, n);
             let mut c1 = DenseMatrix::zeros(m, n);
             let mut c2 = DenseMatrix::zeros(m, n);
@@ -206,7 +210,12 @@ mod tests {
 
     #[test]
     fn packed_matches_naive() {
-        for &(m, k, n) in &[(4usize, 8usize, 8usize), (5, 7, 3), (64, 64, 64), (33, 100, 17)] {
+        for &(m, k, n) in &[
+            (4usize, 8usize, 8usize),
+            (5, 7, 3),
+            (64, 64, 64),
+            (33, 100, 17),
+        ] {
             let (a, b) = mats(m, k, n);
             let mut c1 = DenseMatrix::zeros(m, n);
             let mut c2 = DenseMatrix::zeros(m, n);

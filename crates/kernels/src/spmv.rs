@@ -30,14 +30,17 @@ pub fn spmv_stream(m: &Csr, block: &RowBlock, x: &[f32], y: &mut [f32]) {
         scratch.push(m.vals[i] * x[m.col_idx[i] as usize]);
     }
     // Phase 2: per-row reduction out of the scratch buffer.
-    for r in block.row_start..block.row_end {
-        let a = m.row_ptr[r] - lo;
-        let b = m.row_ptr[r + 1] - lo;
+    let ptrs = &m.row_ptr[block.row_start..=block.row_end];
+    for (yr, w) in y[block.row_start..block.row_end]
+        .iter_mut()
+        .zip(ptrs.windows(2))
+    {
+        let (a, b) = (w[0] - lo, w[1] - lo);
         let mut acc = 0.0f32;
         for v in &scratch[a..b] {
             acc += v;
         }
-        y[r] = acc;
+        *yr = acc;
     }
 }
 
@@ -163,7 +166,9 @@ mod tests {
 
     fn check_adaptive(m: &Csr, params: BinningParams) {
         let blocks = bin_rows(m, params);
-        let x: Vec<f32> = (0..m.cols).map(|i| ((i % 13) as f32 - 6.0) * 0.25).collect();
+        let x: Vec<f32> = (0..m.cols)
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.25)
+            .collect();
         let mut reference = vec![0.0f32; m.rows];
         m.spmv_reference(&x, &mut reference);
         let mut y = vec![f32::NAN; m.rows];
@@ -222,8 +227,9 @@ mod tests {
 
     #[test]
     fn vector_kernel_handles_exact_lane_multiples() {
-        let triplets: Vec<(usize, u32, f32)> =
-            (0..(WG_LANES as u32 * 2)).map(|c| (0usize, c, 0.5f32)).collect();
+        let triplets: Vec<(usize, u32, f32)> = (0..(WG_LANES as u32 * 2))
+            .map(|c| (0usize, c, 0.5f32))
+            .collect();
         let m = Csr::from_coo(1, WG_LANES * 2, triplets);
         let b = RowBlock {
             row_start: 0,

@@ -83,9 +83,8 @@ pub fn step_reference(temp: &DenseMatrix, power: &DenseMatrix, prm: &HotSpotPara
     let mut out = DenseMatrix::zeros(temp.rows, temp.cols);
     for y in 0..temp.rows {
         for x in 0..temp.cols {
-            *out.get_mut(y, x) = update_cell(
-                &temp.data, &power.data, temp.cols, temp.rows, x, y, prm,
-            );
+            *out.get_mut(y, x) =
+                update_cell(&temp.data, &power.data, temp.cols, temp.rows, x, y, prm);
         }
     }
     out
@@ -145,7 +144,10 @@ pub fn extract_halo_block(
     w: usize,
     halo: usize,
 ) -> HaloBlock {
-    assert!(r0 + h <= temp.rows && c0 + w <= temp.cols, "core out of bounds");
+    assert!(
+        r0 + h <= temp.rows && c0 + w <= temp.cols,
+        "core out of bounds"
+    );
     let north = halo.min(r0);
     let west = halo.min(c0);
     let south = halo.min(temp.rows - (r0 + h));
@@ -185,13 +187,20 @@ pub fn step_halo_block(block: &HaloBlock, steps: usize, prm: &HotSpotParams) -> 
     for step in 0..steps {
         // Trusted region after this step (ring `step+1` consumed on halo sides).
         let y0 = if n == 0 { 0 } else { step + 1 }.min(rows);
-        let y1 = if s == 0 { rows } else { rows - (step + 1).min(rows) };
+        let y1 = if s == 0 {
+            rows
+        } else {
+            rows - (step + 1).min(rows)
+        };
         let x0 = if w == 0 { 0 } else { step + 1 }.min(cols);
-        let x1 = if e == 0 { cols } else { cols - (step + 1).min(cols) };
+        let x1 = if e == 0 {
+            cols
+        } else {
+            cols - (step + 1).min(cols)
+        };
         for y in y0..y1 {
             for x in x0..x1 {
-                next[y * cols + x] =
-                    update_cell(&cur, &block.power.data, cols, rows, x, y, prm);
+                next[y * cols + x] = update_cell(&cur, &block.power.data, cols, rows, x, y, prm);
             }
         }
         std::mem::swap(&mut cur, &mut next);
@@ -246,7 +255,9 @@ pub fn multi_step_parallel(
         .step_by(block)
         .flat_map(|r0| {
             let h = block.min(rows - r0);
-            (0..cols).step_by(block).map(move |c0| (r0, c0, h, 0))
+            (0..cols)
+                .step_by(block)
+                .map(move |c0| (r0, c0, h, 0))
                 .map(move |(r0, c0, h, _)| (r0, c0, h, block.min(cols - c0)))
         })
         .collect();
@@ -274,9 +285,7 @@ mod tests {
     use super::*;
 
     fn grids(rows: usize, cols: usize) -> (DenseMatrix, DenseMatrix, HotSpotParams) {
-        let temp = DenseMatrix::from_fn(rows, cols, |r, c| {
-            80.0 + ((r * 31 + c * 17) % 23) as f32
-        });
+        let temp = DenseMatrix::from_fn(rows, cols, |r, c| 80.0 + ((r * 31 + c * 17) % 23) as f32);
         let power = DenseMatrix::from_fn(rows, cols, |r, c| ((r + c) % 5) as f32 * 0.2);
         (temp, power, HotSpotParams::default())
     }

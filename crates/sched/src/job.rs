@@ -1,0 +1,180 @@
+//! Job identity, priority classes, lifecycle states, and work shapes.
+
+use crate::reserve::Reservation;
+use northup_sim::{SimDur, SimTime};
+
+/// Opaque job identifier, unique within one scheduler instance and
+/// assigned in submission order (which makes it a deterministic
+/// tie-breaker everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Priority class for weighted fair admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Throughput-oriented background work.
+    Batch,
+    /// Default class.
+    Normal,
+    /// Latency-sensitive foreground work.
+    Interactive,
+}
+
+impl Priority {
+    /// Admission weight: an Interactive job gets 4 admission credits for
+    /// every 1 a Batch job gets when both classes have waiters.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Batch => 1,
+            Priority::Normal => 2,
+            Priority::Interactive => 4,
+        }
+    }
+
+    /// All classes, highest priority first (the scheduler's scan order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
+}
+
+/// Lifecycle: `Queued → Admitted → Running → {Done, Failed}`, with
+/// `Rejected` (backpressure / infeasible reservation) and `Cancelled`
+/// as alternative exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Waiting in an admission queue; no capacity held.
+    Queued,
+    /// Reservation committed against the node budgets; not yet issuing.
+    Admitted,
+    /// Chunks in flight on the shared fabric.
+    Running,
+    /// Completed all chunks; reservation released.
+    Done,
+    /// Aborted by the runtime; reservation released.
+    Failed,
+    /// Never admitted: queue full or reservation infeasible.
+    Rejected,
+    /// Cancelled by the submitter (from queue or at a chunk boundary).
+    Cancelled,
+}
+
+impl JobState {
+    /// Terminal states never transition again and hold no reservation.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Rejected | JobState::Cancelled
+        )
+    }
+}
+
+/// The steady-state shape of a job: how many chunks it processes and what
+/// each chunk costs on the shared fabric (root read → link staging → leaf
+/// compute → optional writeback). This is the out-of-core pipeline of
+/// `northup-apps` collapsed to its per-chunk resource demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobWork {
+    /// Number of sequential chunks (≥ 0; zero-chunk jobs finish at admission).
+    pub chunks: u32,
+    /// Bytes read from root storage per chunk.
+    pub read_bytes: u64,
+    /// Bytes staged across each link on the root→leaf path per chunk.
+    pub xfer_bytes: u64,
+    /// Leaf compute time per chunk.
+    pub compute: SimDur,
+    /// Bytes written back (links + root storage) per chunk.
+    pub write_bytes: u64,
+}
+
+impl JobWork {
+    /// A job of `chunks` chunks with all per-chunk costs zero; chain the
+    /// builder methods to fill them in.
+    pub fn new(chunks: u32) -> Self {
+        JobWork {
+            chunks,
+            read_bytes: 0,
+            xfer_bytes: 0,
+            compute: SimDur::ZERO,
+            write_bytes: 0,
+        }
+    }
+
+    /// Set bytes read from root storage per chunk.
+    pub fn read(mut self, bytes: u64) -> Self {
+        self.read_bytes = bytes;
+        self
+    }
+
+    /// Set bytes staged over each path link per chunk.
+    pub fn xfer(mut self, bytes: u64) -> Self {
+        self.xfer_bytes = bytes;
+        self
+    }
+
+    /// Set leaf compute time per chunk.
+    pub fn compute(mut self, dur: SimDur) -> Self {
+        self.compute = dur;
+        self
+    }
+
+    /// Set writeback bytes per chunk.
+    pub fn write(mut self, bytes: u64) -> Self {
+        self.write_bytes = bytes;
+        self
+    }
+}
+
+/// Everything the submitter declares about one job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Name for reports ("gemm-8g", "hotspot-t3").
+    pub name: String,
+    /// Admission class.
+    pub priority: Priority,
+    /// Virtual arrival time (trace replay position).
+    pub arrival: SimTime,
+    /// Per-node capacity this job needs held while admitted.
+    pub reservation: Reservation,
+    /// Per-chunk fabric demand.
+    pub work: JobWork,
+    /// Optional cancellation time (takes effect from the queue instantly,
+    /// or at the next chunk boundary once running).
+    pub cancel_at: Option<SimTime>,
+}
+
+impl JobSpec {
+    /// A `Normal`-priority job arriving at time zero; adjust fields or use
+    /// the builder methods for the rest.
+    pub fn new(name: impl Into<String>, reservation: Reservation, work: JobWork) -> Self {
+        JobSpec {
+            name: name.into(),
+            priority: Priority::Normal,
+            arrival: SimTime::ZERO,
+            reservation,
+            work,
+            cancel_at: None,
+        }
+    }
+
+    /// Set the admission class.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the virtual arrival time.
+    pub fn arrival(mut self, at: SimTime) -> Self {
+        self.arrival = at;
+        self
+    }
+
+    /// Request cancellation at virtual time `at`.
+    pub fn cancel_at(mut self, at: SimTime) -> Self {
+        self.cancel_at = Some(at);
+        self
+    }
+}

@@ -1,0 +1,63 @@
+//! # northup-sched — multi-tenant job scheduling for Northup machines
+//!
+//! The Northup runtime executes *one* out-of-core job well; this crate
+//! arbitrates *many*. Jobs (GEMM, HotSpot, SpMV from `northup-apps`)
+//! declare per-tree-level capacity reservations — DRAM staging bytes,
+//! device-memory bytes — and the [`JobScheduler`] admits them against
+//! per-node budgets derived from the tree's `DeviceSpec` capacities,
+//! queueing or rejecting with backpressure when the machine is
+//! oversubscribed.
+//!
+//! * [`reserve`] — [`Reservation`] (per-node bytes a job holds while
+//!   admitted) and [`NodeBudgets`] (what the scheduler may commit);
+//!   bridges to `northup::CapacityLease` so `Ctx::alloc` enforces the
+//!   admitted amounts.
+//! * [`job`] — [`JobSpec`]/[`JobWork`] (arrival, priority, per-chunk
+//!   fabric demand) and the `Queued → Admitted → Running → Done` /
+//!   `Failed` / `Rejected` / `Cancelled` lifecycle.
+//! * [`fabric`] — [`SimFabric`], the shared virtual-time resources
+//!   (root storage, links, leaf processors) all admitted jobs contend
+//!   on, mirroring `northup::Runtime`'s single-job model.
+//! * [`scheduler`] — [`JobScheduler`]: weighted fair admission across
+//!   [`Priority`] classes with a starvation guard, strict-FIFO baseline,
+//!   placement by work-queue depth (§V-E subtree-status checks), and a
+//!   deterministic event-driven co-simulation producing a
+//!   [`SchedReport`] (makespan, throughput, p50/p99 latency, rejection
+//!   rate, and per-node capacity audit trails).
+//!
+//! ## Example
+//!
+//! ```
+//! use northup::presets;
+//! use northup_hw::catalog;
+//! use northup_sched::{
+//!     staging_reservation, JobScheduler, JobSpec, JobState, JobWork, SchedulerConfig,
+//! };
+//! use northup_sim::SimDur;
+//!
+//! let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+//! let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+//! let id = sched.submit(JobSpec::new(
+//!     "gemm",
+//!     staging_reservation(&tree, 512 << 20),
+//!     JobWork::new(4).read(64 << 20).xfer(64 << 20).compute(SimDur::from_millis(5)),
+//! ));
+//! let report = sched.run();
+//! assert_eq!(report.job(id).state, JobState::Done);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod job;
+pub mod reserve;
+pub mod scheduler;
+
+pub use fabric::SimFabric;
+pub use job::{JobId, JobSpec, JobState, JobWork, Priority};
+pub use reserve::{NodeBudgets, Reservation};
+pub use scheduler::{
+    staging_reservation, AdmissionEvent, AdmissionEventKind, AdmissionPolicy, CapacitySample,
+    JobOutcome, JobScheduler, SchedReport, SchedulerConfig,
+};

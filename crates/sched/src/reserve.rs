@@ -1,0 +1,163 @@
+//! Capacity reservations and per-node budgets.
+//!
+//! A job declares, per tree node, how many bytes of that memory level it
+//! needs held for it while it runs (DRAM staging ring, device-memory
+//! working set). The scheduler admits reservations against
+//! [`NodeBudgets`] derived from the tree's `DeviceSpec` capacities, and
+//! bridges an admitted reservation to a `northup::CapacityLease` so the
+//! runtime's `alloc` enforces it.
+
+use northup::lease::CapacityLease;
+use northup::{NodeId, Tree};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-node byte reservation declared by a job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reservation {
+    per_node: BTreeMap<NodeId, u64>,
+}
+
+impl Reservation {
+    /// Empty reservation (no capacity held; always admissible).
+    pub fn new() -> Self {
+        Reservation::default()
+    }
+
+    /// Builder-style: reserve `bytes` on `node`.
+    pub fn with(mut self, node: NodeId, bytes: u64) -> Self {
+        self.set(node, bytes);
+        self
+    }
+
+    /// Reserve `bytes` on `node` (replacing any previous amount; zero
+    /// removes the entry).
+    pub fn set(&mut self, node: NodeId, bytes: u64) {
+        if bytes == 0 {
+            self.per_node.remove(&node);
+        } else {
+            self.per_node.insert(node, bytes);
+        }
+    }
+
+    /// Reserved bytes on `node` (zero when not reserved).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.per_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// All (node, bytes) entries in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.per_node.iter().map(|(&n, &b)| (n, b))
+    }
+
+    /// True when nothing is reserved.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Sum of all reserved bytes (a crude job "size" for reports).
+    pub fn total(&self) -> u64 {
+        self.per_node.values().sum()
+    }
+
+    /// Bridge to the runtime: a capacity lease granting exactly this
+    /// reservation, for `Runtime::install_lease`.
+    pub fn to_lease(&self) -> Arc<CapacityLease> {
+        CapacityLease::new(self.iter())
+    }
+}
+
+impl FromIterator<(NodeId, u64)> for Reservation {
+    fn from_iter<I: IntoIterator<Item = (NodeId, u64)>>(iter: I) -> Self {
+        let mut r = Reservation::new();
+        for (n, b) in iter {
+            r.set(n, b);
+        }
+        r
+    }
+}
+
+/// Admission budgets: the schedulable bytes of every tree node.
+#[derive(Debug, Clone)]
+pub struct NodeBudgets {
+    budget: Vec<u64>,
+}
+
+impl NodeBudgets {
+    /// Budgets from the tree's device capacities, scaled by `headroom`
+    /// (e.g. 0.9 keeps 10% of every level for runtime slack). `headroom`
+    /// is clamped to `[0, 1]`.
+    pub fn from_tree(tree: &Tree, headroom: f64) -> Self {
+        let headroom = headroom.clamp(0.0, 1.0);
+        NodeBudgets {
+            budget: tree
+                .nodes()
+                .map(|n| (n.mem.capacity as f64 * headroom) as u64)
+                .collect(),
+        }
+    }
+
+    /// Schedulable bytes on `node` (zero for unknown nodes).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.budget.get(node.0).copied().unwrap_or(0)
+    }
+
+    /// Whether a reservation can ever be admitted (each entry within the
+    /// node's total budget).
+    pub fn feasible(&self, r: &Reservation) -> bool {
+        r.iter().all(|(n, b)| b <= self.get(n))
+    }
+
+    /// Whether `r` fits on top of the currently committed bytes.
+    pub fn fits(&self, committed: &BTreeMap<NodeId, u64>, r: &Reservation) -> bool {
+        r.iter().all(|(n, b)| {
+            let used = committed.get(&n).copied().unwrap_or(0);
+            used.saturating_add(b) <= self.get(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use northup::presets;
+    use northup_hw::catalog;
+
+    #[test]
+    fn reservation_accumulates_and_bridges_to_lease() {
+        let r = Reservation::new()
+            .with(NodeId(1), 100)
+            .with(NodeId(2), 50)
+            .with(NodeId(1), 80); // replaces
+        assert_eq!(r.get(NodeId(1)), 80);
+        assert_eq!(r.total(), 130);
+        let lease = r.to_lease();
+        assert_eq!(lease.granted(NodeId(1)), Some(80));
+        assert_eq!(lease.granted(NodeId(0)), None);
+    }
+
+    #[test]
+    fn budgets_follow_capacity_and_headroom() {
+        let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let full = NodeBudgets::from_tree(&tree, 1.0);
+        let half = NodeBudgets::from_tree(&tree, 0.5);
+        for n in tree.nodes() {
+            assert_eq!(full.get(n.id), n.mem.capacity);
+            assert!(half.get(n.id) <= n.mem.capacity / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn fits_accounts_for_committed_bytes() {
+        let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let budgets = NodeBudgets::from_tree(&tree, 1.0);
+        let dram = NodeId(1);
+        let cap = budgets.get(dram);
+        let r = Reservation::new().with(dram, cap / 2 + 1);
+        assert!(budgets.feasible(&r));
+        let mut committed = BTreeMap::new();
+        assert!(budgets.fits(&committed, &r));
+        committed.insert(dram, cap / 2 + 1);
+        assert!(!budgets.fits(&committed, &r), "two halves-plus-one exceed");
+    }
+}

@@ -1,0 +1,895 @@
+//! The multi-tenant job scheduler: admission control, weighted fair
+//! queueing, placement, and the deterministic virtual-time co-simulation.
+//!
+//! [`JobScheduler`] accepts a batch of [`JobSpec`]s (an arrival trace),
+//! then [`JobScheduler::run`] replays it event by event in virtual time:
+//!
+//! 1. **Arrival** — infeasible reservations and queue overflow are
+//!    rejected (backpressure); everything else queues in its priority
+//!    class.
+//! 2. **Admission** — a weighted-fair pass over the class queues commits
+//!    each admitted job's [`Reservation`] against the [`NodeBudgets`];
+//!    the invariant `committed(node) ≤ budget(node)` holds at every
+//!    virtual instant. A starvation guard blocks further bypasses once a
+//!    class head has been overtaken `aging_limit` times.
+//! 3. **Execution** — admitted jobs issue sequential chunks on the shared
+//!    [`SimFabric`], so contention on root storage and links is visible
+//!    in completion times. Placement picks the leaf whose subtree has the
+//!    shallowest work queues (the paper's §V-E subtree-status check).
+//! 4. **Release** — at a job's terminal transition its reservation is
+//!    credited back and another admission pass runs.
+//!
+//! Everything is keyed on ordered integers (`SimTime`, event kind,
+//! `JobId`), so one trace + one config ⇒ one schedule, bit for bit.
+
+use crate::fabric::{SimFabric, Stage};
+use crate::job::{JobId, JobSpec, JobState, Priority};
+use crate::reserve::{NodeBudgets, Reservation};
+use northup::{NodeId, Tree, WorkQueues};
+use northup_sim::{SimDur, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// How the scheduler decides which queued job to admit next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Weighted fair admission across priority classes with a starvation
+    /// guard; concurrent jobs share the machine whenever their
+    /// reservations co-fit.
+    WeightedFair,
+    /// Strict serial FIFO: one job owns the whole machine at a time
+    /// (admitted only when nothing else is admitted or running). The
+    /// baseline the bench compares against.
+    Fifo,
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Fraction of each node's capacity the scheduler may commit
+    /// (see [`NodeBudgets::from_tree`]).
+    pub headroom: f64,
+    /// Maximum jobs waiting across all class queues before arrivals are
+    /// rejected (backpressure).
+    pub max_queue: usize,
+    /// Admission policy.
+    pub policy: AdmissionPolicy,
+    /// After a class head has been bypassed this many times, no
+    /// lower-credit class may overtake it again until it admits.
+    pub aging_limit: u32,
+    /// Work queues per tree node fed to placement.
+    pub queues_per_node: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            headroom: 1.0,
+            max_queue: 64,
+            policy: AdmissionPolicy::WeightedFair,
+            aging_limit: 8,
+            queues_per_node: 1,
+        }
+    }
+}
+
+/// One admission-log entry: capacity committed or released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionEvent {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// The job whose reservation moved.
+    pub job: JobId,
+    /// Committed (admission) or credited back (terminal transition).
+    pub kind: AdmissionEventKind,
+}
+
+/// Direction of an [`AdmissionEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionEventKind {
+    /// The job's reservation was committed against the budgets.
+    Admitted,
+    /// The job's reservation was credited back.
+    Released,
+}
+
+/// Committed bytes on one node right after an admission-log transition —
+/// the raw series behind the "never exceeds budget" acceptance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySample {
+    /// Virtual time of the sample.
+    pub at: SimTime,
+    /// Sampled node.
+    pub node: NodeId,
+    /// Committed bytes on `node` after the transition.
+    pub committed: u64,
+}
+
+/// Final per-job record in the [`SchedReport`].
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job id (submission order).
+    pub id: JobId,
+    /// Submitter-chosen name.
+    pub name: String,
+    /// Admission class.
+    pub priority: Priority,
+    /// Terminal state (always terminal after `run`).
+    pub state: JobState,
+    /// Arrival time from the trace.
+    pub arrival: SimTime,
+    /// When the reservation was committed, if ever.
+    pub admitted_at: Option<SimTime>,
+    /// When the job reached its terminal state.
+    pub finished_at: Option<SimTime>,
+    /// Leaf the job was placed on, if admitted.
+    pub leaf: Option<NodeId>,
+    /// The reservation the job declared (and held while admitted).
+    pub reservation: Reservation,
+}
+
+impl JobOutcome {
+    /// Arrival→finish latency for completed jobs.
+    pub fn latency(&self) -> Option<SimDur> {
+        match (self.state, self.finished_at) {
+            (JobState::Done, Some(end)) => Some(end - self.arrival),
+            _ => None,
+        }
+    }
+
+    /// For jobs that were admitted: the reservation as a runtime lease.
+    /// Install it with `Runtime::install_lease` so the job's `Ctx::alloc`
+    /// calls draw from the admitted capacity.
+    pub fn lease(&self) -> Option<std::sync::Arc<northup::CapacityLease>> {
+        self.admitted_at?;
+        Some(self.reservation.to_lease())
+    }
+}
+
+/// Everything `run` learned: per-job outcomes plus aggregate service
+/// metrics and the audit trails the acceptance tests inspect.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// One record per submitted job, in `JobId` order.
+    pub jobs: Vec<JobOutcome>,
+    /// Last terminal transition (virtual time of the full trace).
+    pub makespan: SimDur,
+    /// Completed jobs per virtual second.
+    pub throughput: f64,
+    /// Median arrival→finish latency over completed jobs.
+    pub p50_latency: SimDur,
+    /// 99th-percentile arrival→finish latency over completed jobs.
+    pub p99_latency: SimDur,
+    /// Rejected jobs / submitted jobs.
+    pub rejection_rate: f64,
+    /// Jobs in the order their reservations were committed.
+    pub admission_order: Vec<JobId>,
+    /// Every commit/release transition.
+    pub admission_log: Vec<AdmissionEvent>,
+    /// Committed bytes per touched node after every transition.
+    pub capacity_trace: Vec<CapacitySample>,
+    /// Peak committed bytes ever observed per node.
+    pub max_committed: BTreeMap<NodeId, u64>,
+}
+
+impl SchedReport {
+    /// Outcome of one job.
+    pub fn job(&self, id: JobId) -> &JobOutcome {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// Count of jobs that ended in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.jobs.iter().filter(|j| j.state == state).count()
+    }
+
+    /// True when every submitted job reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.iter().all(|j| j.state.is_terminal())
+    }
+
+    /// One-line human summary for drivers and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs: {} done, {} rejected, {} cancelled | makespan {:.3} s | \
+             {:.2} jobs/s | p50 {:.3} s | p99 {:.3} s | reject {:.1}%",
+            self.jobs.len(),
+            self.count(JobState::Done),
+            self.count(JobState::Rejected),
+            self.count(JobState::Cancelled),
+            self.makespan.as_secs_f64(),
+            self.throughput,
+            self.p50_latency.as_secs_f64(),
+            self.p99_latency.as_secs_f64(),
+            self.rejection_rate * 100.0,
+        )
+    }
+}
+
+/// Event kinds, in processing order at equal virtual time: completions
+/// free capacity before cancellations take effect, and both before new
+/// arrivals are considered.
+const EV_STAGE_DONE: u8 = 0;
+const EV_CANCEL: u8 = 1;
+const EV_ARRIVAL: u8 = 2;
+
+#[derive(Debug)]
+struct JobRec {
+    spec: JobSpec,
+    state: JobState,
+    admitted_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+    leaf: Option<NodeId>,
+    task: Option<northup::TaskId>,
+    stages: Vec<Stage>,
+    stage_idx: usize,
+    chunks_done: u32,
+    cancel_requested: bool,
+}
+
+/// The multi-tenant scheduler. Submit jobs, then [`run`](Self::run) the
+/// deterministic co-simulation to a [`SchedReport`].
+#[derive(Debug)]
+pub struct JobScheduler {
+    tree: Tree,
+    cfg: SchedulerConfig,
+    budgets: NodeBudgets,
+    jobs: Vec<JobRec>,
+}
+
+impl JobScheduler {
+    /// A scheduler over `tree` with budgets derived from its device
+    /// capacities scaled by `cfg.headroom`.
+    pub fn new(tree: Tree, cfg: SchedulerConfig) -> Self {
+        let budgets = NodeBudgets::from_tree(&tree, cfg.headroom);
+        JobScheduler {
+            tree,
+            cfg,
+            budgets,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The admission budgets in force.
+    pub fn budgets(&self) -> &NodeBudgets {
+        &self.budgets
+    }
+
+    /// Submit a job; returns its id. Jobs may be submitted in any order —
+    /// `run` replays them by arrival time.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(JobRec {
+            spec,
+            state: JobState::Queued,
+            admitted_at: None,
+            finished_at: None,
+            leaf: None,
+            task: None,
+            stages: Vec::new(),
+            stage_idx: 0,
+            chunks_done: 0,
+            cancel_requested: false,
+        });
+        id
+    }
+
+    /// Request cancellation of `id` at virtual time `at` (same effect as
+    /// submitting the spec with [`JobSpec::cancel_at`]).
+    pub fn cancel(&mut self, id: JobId, at: SimTime) {
+        if let Some(rec) = self.jobs.get_mut(id.0 as usize) {
+            rec.spec.cancel_at = Some(at);
+        }
+    }
+
+    /// Replay the submitted trace in virtual time and consume the
+    /// scheduler. Deterministic: same trace + same config ⇒ same report.
+    pub fn run(mut self) -> SchedReport {
+        let mut st = RunState::new(&self.tree, &self.cfg);
+
+        // Seed arrivals (and standalone cancellations of queued jobs).
+        for (i, rec) in self.jobs.iter().enumerate() {
+            let id = i as u64;
+            st.events
+                .push(Reverse((rec.spec.arrival, EV_ARRIVAL, id, 0)));
+            if let Some(t) = rec.spec.cancel_at {
+                st.events.push(Reverse((t, EV_CANCEL, id, 0)));
+            }
+        }
+
+        while let Some(Reverse((t, kind, id, _))) = st.events.pop() {
+            let id = JobId(id);
+            match kind {
+                EV_STAGE_DONE => self.on_stage_done(&mut st, id, t),
+                EV_CANCEL => self.on_cancel(&mut st, id, t),
+                EV_ARRIVAL => self.on_arrival(&mut st, id, t),
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+
+        self.into_report(st)
+    }
+
+    fn on_arrival(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        if rec.state.is_terminal() {
+            return; // e.g. cancelled before arrival
+        }
+        if !self.budgets.feasible(&rec.spec.reservation) {
+            rec.state = JobState::Rejected;
+            rec.finished_at = Some(t);
+            return;
+        }
+        let waiting: usize = st.class_queues.iter().map(VecDeque::len).sum();
+        if waiting >= self.cfg.max_queue {
+            rec.state = JobState::Rejected;
+            rec.finished_at = Some(t);
+            return;
+        }
+        let class = class_index(rec.spec.priority);
+        st.class_queues[class].push_back(id);
+        st.fifo_queue.push_back(id);
+        self.admit_pass(st, t);
+    }
+
+    fn on_cancel(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        match rec.state {
+            JobState::Queued => {
+                for q in st.class_queues.iter_mut() {
+                    q.retain(|&j| j != id);
+                }
+                st.fifo_queue.retain(|&j| j != id);
+                rec.state = JobState::Cancelled;
+                rec.finished_at = Some(t);
+            }
+            JobState::Admitted | JobState::Running => {
+                rec.cancel_requested = true; // honored at the chunk boundary
+            }
+            _ => {}
+        }
+    }
+
+    /// A stage of the current chunk finished: book the next stage at its
+    /// actual ready time, or close the chunk and open the next one.
+    fn on_stage_done(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.stage_idx += 1;
+        if rec.stage_idx < rec.stages.len() {
+            let stage = rec.stages[rec.stage_idx];
+            let end = st.fabric.serve(stage, t, &rec.spec.work);
+            st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
+            return;
+        }
+        rec.chunks_done += 1;
+        rec.stage_idx = 0;
+        if rec.cancel_requested {
+            self.finish(st, id, JobState::Cancelled, t);
+        } else if rec.chunks_done >= rec.spec.work.chunks {
+            self.finish(st, id, JobState::Done, t);
+        } else {
+            self.issue_chunk(st, id, t);
+        }
+    }
+
+    /// Start the next chunk by booking only its FIRST stage — later
+    /// stages are booked as their predecessors complete, so concurrent
+    /// jobs interleave on every shared resource instead of one job
+    /// reserving the whole chain up front.
+    fn issue_chunk(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.state = JobState::Running;
+        if rec.stages.is_empty() {
+            // All-zero work shape: every chunk completes instantly.
+            rec.chunks_done = rec.spec.work.chunks;
+            let end_state = if rec.cancel_requested {
+                JobState::Cancelled
+            } else {
+                JobState::Done
+            };
+            self.finish(st, id, end_state, t);
+            return;
+        }
+        let end = st.fabric.serve(rec.stages[0], t, &rec.spec.work);
+        st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
+    }
+
+    /// Commit the reservation, place the job, and start its first chunk.
+    fn admit(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        debug_assert_eq!(rec.state, JobState::Queued);
+        for (n, b) in rec.spec.reservation.iter() {
+            let e = st.committed.entry(n).or_insert(0);
+            *e += b;
+            let peak = st.max_committed.entry(n).or_insert(0);
+            *peak = (*peak).max(*e);
+            st.capacity_trace.push(CapacitySample {
+                at: t,
+                node: n,
+                committed: *e,
+            });
+        }
+        rec.state = JobState::Admitted;
+        rec.admitted_at = Some(t);
+        st.admission_order.push(id);
+        st.admission_log.push(AdmissionEvent {
+            at: t,
+            job: id,
+            kind: AdmissionEventKind::Admitted,
+        });
+        st.active += 1;
+
+        let name = rec.spec.name.clone();
+        let zero_chunks = rec.spec.work.chunks == 0;
+
+        // Placement: the leaf whose subtree (child-of-root anchor) has the
+        // shallowest work queues; ties break toward the lowest leaf id.
+        let leaf = self.place(st);
+        let queue = st.wq.shortest_queue(leaf);
+        let task = st.wq.enqueue(leaf, queue, name);
+        let stages = st
+            .fabric
+            .plan_stages(leaf, &self.jobs[id.0 as usize].spec.work);
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.leaf = Some(leaf);
+        rec.task = Some(task);
+        rec.stages = stages;
+
+        if zero_chunks {
+            self.finish(st, id, JobState::Done, t);
+        } else {
+            self.issue_chunk(st, id, t);
+        }
+    }
+
+    fn place(&self, st: &RunState) -> NodeId {
+        let mut best: Option<(usize, NodeId)> = None;
+        for leaf in self.tree.leaves() {
+            let anchor = subtree_anchor(&self.tree, leaf.id);
+            let depth = st.wq.subtree_depth(&self.tree, anchor);
+            let better = match best {
+                None => true,
+                Some((d, l)) => depth < d || (depth == d && leaf.id < l),
+            };
+            if better {
+                best = Some((depth, leaf.id));
+            }
+        }
+        best.expect("tree has at least one leaf").1
+    }
+
+    fn finish(&mut self, st: &mut RunState, id: JobId, state: JobState, t: SimTime) {
+        let rec = &mut self.jobs[id.0 as usize];
+        debug_assert!(state.is_terminal());
+        for (n, b) in rec.spec.reservation.iter() {
+            let e = st.committed.entry(n).or_insert(0);
+            *e = e.saturating_sub(b);
+            st.capacity_trace.push(CapacitySample {
+                at: t,
+                node: n,
+                committed: *e,
+            });
+        }
+        rec.state = state;
+        rec.finished_at = Some(t);
+        if let (Some(leaf), Some(task)) = (rec.leaf, rec.task.take()) {
+            st.wq.complete(leaf, task);
+        }
+        st.admission_log.push(AdmissionEvent {
+            at: t,
+            job: id,
+            kind: AdmissionEventKind::Released,
+        });
+        st.active -= 1;
+        self.admit_pass(st, t);
+    }
+
+    /// One admission pass at virtual time `t`: admit every queued job the
+    /// policy allows until nothing more fits.
+    fn admit_pass(&mut self, st: &mut RunState, t: SimTime) {
+        match self.cfg.policy {
+            AdmissionPolicy::Fifo => {
+                // Strict serialization: whole machine to one job at a time.
+                while st.active == 0 {
+                    let Some(&id) = st.fifo_queue.front() else {
+                        break;
+                    };
+                    st.fifo_queue.pop_front();
+                    for q in st.class_queues.iter_mut() {
+                        q.retain(|&j| j != id);
+                    }
+                    self.admit(st, id, t);
+                }
+            }
+            AdmissionPolicy::WeightedFair => self.fair_pass(st, t),
+        }
+    }
+
+    fn fair_pass(&mut self, st: &mut RunState, t: SimTime) {
+        // Refresh credits once per pass for classes with waiters.
+        for (c, p) in Priority::ALL.iter().enumerate() {
+            if !st.class_queues[c].is_empty() {
+                st.credits[c] += p.weight();
+            }
+        }
+        loop {
+            // Candidate classes by (credits desc, class rank asc).
+            let mut order: Vec<usize> = (0..Priority::ALL.len())
+                .filter(|&c| !st.class_queues[c].is_empty())
+                .collect();
+            if order.is_empty() {
+                return;
+            }
+            order.sort_by_key(|&c| (Reverse(st.credits[c]), c));
+
+            // Starvation guard: once a class head has been bypassed
+            // `aging_limit` times, only it may admit until it does.
+            if let Some(b) = st.blocked_class {
+                if st.class_queues[b].is_empty() {
+                    st.blocked_class = None;
+                } else {
+                    let id = st.class_queues[b][0];
+                    if self
+                        .budgets
+                        .fits(&st.committed, &self.jobs[id.0 as usize].spec.reservation)
+                    {
+                        st.class_queues[b].pop_front();
+                        st.fifo_queue.retain(|&j| j != id);
+                        st.credits[b] = 0;
+                        st.starve[b] = 0;
+                        st.blocked_class = None;
+                        self.admit(st, id, t);
+                        continue;
+                    }
+                    return; // must wait for the blocked class's head
+                }
+            }
+
+            let mut admitted = false;
+            for (rank, &c) in order.iter().enumerate() {
+                let id = st.class_queues[c][0];
+                if self
+                    .budgets
+                    .fits(&st.committed, &self.jobs[id.0 as usize].spec.reservation)
+                {
+                    if rank > 0 {
+                        // Overtook the head of every higher-credit class.
+                        for &hc in &order[..rank] {
+                            st.starve[hc] += 1;
+                            if st.starve[hc] >= self.cfg.aging_limit {
+                                st.blocked_class = Some(hc);
+                            }
+                        }
+                    }
+                    st.class_queues[c].pop_front();
+                    st.fifo_queue.retain(|&j| j != id);
+                    st.credits[c] = 0;
+                    st.starve[c] = 0;
+                    self.admit(st, id, t);
+                    admitted = true;
+                    break;
+                }
+            }
+            if !admitted {
+                return;
+            }
+        }
+    }
+
+    fn into_report(self, st: RunState) -> SchedReport {
+        let jobs: Vec<JobOutcome> = self
+            .jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rec)| JobOutcome {
+                id: JobId(i as u64),
+                name: rec.spec.name,
+                priority: rec.spec.priority,
+                state: rec.state,
+                arrival: rec.spec.arrival,
+                admitted_at: rec.admitted_at,
+                finished_at: rec.finished_at,
+                leaf: rec.leaf,
+                reservation: rec.spec.reservation,
+            })
+            .collect();
+
+        let makespan = jobs
+            .iter()
+            .filter_map(|j| j.finished_at)
+            .max()
+            .map(|end| end - SimTime::ZERO)
+            .unwrap_or(SimDur::ZERO);
+        let done = jobs.iter().filter(|j| j.state == JobState::Done).count();
+        let secs = makespan.as_secs_f64();
+        let throughput = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+
+        let mut lats: Vec<SimDur> = jobs.iter().filter_map(JobOutcome::latency).collect();
+        lats.sort();
+        let pct = |p: usize| -> SimDur {
+            if lats.is_empty() {
+                SimDur::ZERO
+            } else {
+                lats[(lats.len() - 1) * p / 100]
+            }
+        };
+        let rejected = jobs
+            .iter()
+            .filter(|j| j.state == JobState::Rejected)
+            .count();
+        let rejection_rate = if jobs.is_empty() {
+            0.0
+        } else {
+            rejected as f64 / jobs.len() as f64
+        };
+
+        SchedReport {
+            makespan,
+            throughput,
+            p50_latency: pct(50),
+            p99_latency: pct(99),
+            rejection_rate,
+            admission_order: st.admission_order,
+            admission_log: st.admission_log,
+            capacity_trace: st.capacity_trace,
+            max_committed: st.max_committed,
+            jobs,
+        }
+    }
+}
+
+/// Per-run mutable state, kept out of `JobScheduler` so `run` borrows
+/// stay simple.
+struct RunState {
+    /// (time, kind, job, seq) min-heap via `Reverse`.
+    events: BinaryHeap<Reverse<(SimTime, u8, u64, u64)>>,
+    class_queues: [VecDeque<JobId>; 3],
+    fifo_queue: VecDeque<JobId>,
+    credits: [u64; 3],
+    starve: [u32; 3],
+    blocked_class: Option<usize>,
+    committed: BTreeMap<NodeId, u64>,
+    max_committed: BTreeMap<NodeId, u64>,
+    capacity_trace: Vec<CapacitySample>,
+    admission_order: Vec<JobId>,
+    admission_log: Vec<AdmissionEvent>,
+    active: usize,
+    fabric: SimFabric,
+    wq: WorkQueues,
+}
+
+impl RunState {
+    fn new(tree: &Tree, cfg: &SchedulerConfig) -> Self {
+        RunState {
+            events: BinaryHeap::new(),
+            class_queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            fifo_queue: VecDeque::new(),
+            credits: [0; 3],
+            starve: [0; 3],
+            blocked_class: None,
+            committed: BTreeMap::new(),
+            max_committed: BTreeMap::new(),
+            capacity_trace: Vec::new(),
+            admission_order: Vec::new(),
+            admission_log: Vec::new(),
+            active: 0,
+            fabric: SimFabric::new(tree),
+            wq: WorkQueues::new(tree, cfg.queues_per_node.max(1)),
+        }
+    }
+}
+
+fn class_index(p: Priority) -> usize {
+    Priority::ALL
+        .iter()
+        .position(|&q| q == p)
+        .expect("priority in ALL")
+}
+
+/// The child-of-root subtree containing `node` (the node itself when it
+/// hangs directly off the root, or is the root).
+fn subtree_anchor(tree: &Tree, node: NodeId) -> NodeId {
+    let mut cur = node;
+    while let Some(p) = tree.parent(cur) {
+        if p == tree.root() {
+            return cur;
+        }
+        cur = p;
+    }
+    cur
+}
+
+/// Helper used by jobs that want "a chunk reservation on the staging
+/// level": reserve `bytes` on the first level-1 node along the root's
+/// first child (convenience for examples and tests).
+pub fn staging_reservation(tree: &Tree, bytes: u64) -> Reservation {
+    match tree.children(tree.root()).first() {
+        Some(&c) => Reservation::new().with(c, bytes),
+        None => Reservation::new().with(tree.root(), bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobWork;
+    use northup::presets;
+    use northup_hw::catalog;
+
+    fn tree() -> Tree {
+        presets::apu_two_level(catalog::ssd_hyperx_predator())
+    }
+
+    fn small_job(name: &str, tree: &Tree, frac_of_dram: f64, chunks: u32) -> JobSpec {
+        let dram = tree.children(tree.root())[0];
+        let budget = tree.node(dram).mem.capacity;
+        let bytes = (budget as f64 * frac_of_dram) as u64;
+        JobSpec::new(
+            name,
+            Reservation::new().with(dram, bytes),
+            JobWork::new(chunks)
+                .read(32 << 20)
+                .xfer(32 << 20)
+                .compute(SimDur::from_millis(2)),
+        )
+    }
+
+    #[test]
+    fn oversized_reservations_serialize() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let budget = tree.node(dram).mem.capacity;
+        let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+        let a = sched.submit(small_job("a", &tree, 0.6, 4));
+        let b = sched.submit(small_job("b", &tree, 0.6, 4));
+        let report = sched.run();
+
+        assert_eq!(report.job(a).state, JobState::Done);
+        assert_eq!(report.job(b).state, JobState::Done);
+        // b admitted only after a released.
+        let a_release = report
+            .admission_log
+            .iter()
+            .find(|e| e.job == a && e.kind == AdmissionEventKind::Released)
+            .unwrap()
+            .at;
+        let b_admit = report.job(b).admitted_at.unwrap();
+        assert!(b_admit >= a_release, "0.6+0.6 > 1.0 must serialize");
+        // Committed bytes never exceed the budget at any sample.
+        for s in &report.capacity_trace {
+            assert!(s.committed <= budget, "sample {s:?} exceeds budget");
+        }
+        assert!(report.max_committed[&dram] <= budget);
+    }
+
+    #[test]
+    fn co_fitting_jobs_run_concurrently_and_beat_fifo() {
+        let tree = tree();
+        let make = |policy| {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    policy,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..6 {
+                s.submit(small_job(&format!("j{i}"), &tree, 0.3, 3));
+            }
+            s.run()
+        };
+        let fair = make(AdmissionPolicy::WeightedFair);
+        let fifo = make(AdmissionPolicy::Fifo);
+        assert!(fair.all_terminal() && fifo.all_terminal());
+        assert_eq!(fair.count(JobState::Done), 6);
+        assert_eq!(fifo.count(JobState::Done), 6);
+        assert!(
+            fair.throughput > fifo.throughput,
+            "concurrent admission ({:.2} jobs/s) must beat strict FIFO ({:.2} jobs/s)",
+            fair.throughput,
+            fifo.throughput
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_is_full() {
+        let tree = tree();
+        let mut sched = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                max_queue: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        // One hog admitted immediately, then many waiters at the same time.
+        sched.submit(small_job("hog", &tree, 0.9, 8));
+        for i in 0..5 {
+            sched.submit(small_job(&format!("w{i}"), &tree, 0.9, 1));
+        }
+        let report = sched.run();
+        assert!(
+            report.count(JobState::Rejected) >= 3,
+            "{}",
+            report.summary()
+        );
+        assert!(report.all_terminal());
+    }
+
+    #[test]
+    fn infeasible_reservation_is_rejected_at_arrival() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let too_big = tree.node(dram).mem.capacity + 1;
+        let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+        let id = sched.submit(JobSpec::new(
+            "whale",
+            Reservation::new().with(dram, too_big),
+            JobWork::new(1).read(1 << 20),
+        ));
+        let report = sched.run();
+        assert_eq!(report.job(id).state, JobState::Rejected);
+    }
+
+    #[test]
+    fn cancellation_from_queue_and_at_chunk_boundary() {
+        let tree = tree();
+        let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+        let hog = sched.submit(small_job("hog", &tree, 0.9, 16));
+        let waiter = sched.submit(small_job("waiter", &tree, 0.9, 4));
+        sched.cancel(waiter, SimTime::from_secs_f64(0.001));
+        sched.cancel(hog, SimTime::from_secs_f64(0.05));
+        let report = sched.run();
+        assert_eq!(report.job(waiter).state, JobState::Cancelled);
+        assert_eq!(report.job(hog).state, JobState::Cancelled);
+        assert!(report.all_terminal());
+    }
+
+    #[test]
+    fn interactive_class_is_favored_but_batch_not_starved() {
+        let tree = tree();
+        let mut sched = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                aging_limit: 4,
+                ..SchedulerConfig::default()
+            },
+        );
+        // A stream where everything co-fits two-at-a-time.
+        for i in 0..4 {
+            sched.submit(small_job(&format!("b{i}"), &tree, 0.45, 2).priority(Priority::Batch));
+        }
+        for i in 0..4 {
+            sched.submit(
+                small_job(&format!("i{i}"), &tree, 0.45, 2).priority(Priority::Interactive),
+            );
+        }
+        let report = sched.run();
+        assert_eq!(report.count(JobState::Done), 8);
+        // Every batch job finished — no starvation.
+        for j in &report.jobs {
+            assert_eq!(j.state, JobState::Done, "{} starved", j.name);
+        }
+    }
+
+    #[test]
+    fn same_trace_same_schedule() {
+        let tree = tree();
+        let build = || {
+            let mut s = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+            for i in 0..8 {
+                let p = Priority::ALL[i % 3];
+                s.submit(
+                    small_job(&format!("j{i}"), &tree, 0.25 + 0.05 * (i % 3) as f64, 2)
+                        .priority(p)
+                        .arrival(SimTime::from_secs_f64(0.0001 * i as f64)),
+                );
+            }
+            s.run()
+        };
+        let r1 = build();
+        let r2 = build();
+        assert_eq!(r1.admission_order, r2.admission_order);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.capacity_trace, r2.capacity_trace);
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim of `criterion` 0.5.
+//!
+//! Implements the measurement surface the workspace's benches use —
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `iter` — with a plain fixed-sample wall-clock loop and a
+//! one-line-per-benchmark report. No warm-up analysis, outlier
+//! rejection, or HTML output; `cargo bench` still exercises every bench
+//! body end-to-end and prints comparable mean timings.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId {
+            function: Some(s.clone()),
+            parameter: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    /// Mean seconds per iteration measured by the last `iter` call.
+    mean: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for a small fixed number of timed iterations and records
+    /// the mean. Return values are passed through `black_box` so the
+    /// closure body is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed shakedown iteration (cold caches, lazy init).
+        black_box(f());
+        let iters = self.sample_size.max(1) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, b.mean);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, b.mean);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, mean_s: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_s > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / mean_s)
+            }
+            Some(Throughput::Bytes(n)) if mean_s > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / mean_s)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: mean {:.3} ms{}",
+            self.name,
+            id.render(),
+            mean_s * 1e3,
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.render();
+        self.benchmark_group(name).bench_function("", f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {
+        eprintln!("ran {} benchmarks", self.benchmarks_run);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness=false bench binaries with
+            // `--test`; benches only run under `cargo bench` (`--bench`)
+            // or a direct invocation with no flags.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,191 @@
+//! Offline shim of `proptest` 1.x.
+//!
+//! Provides the subset of the proptest API this workspace uses —
+//! `proptest! { #[test] fn f(x in strategy) { .. } }`, range/tuple/vec
+//! strategies, `prop_oneof!`, `prop_assert*!`, `prop_assume!`,
+//! `ProptestConfig::with_cases` — on a deterministic splitmix64 generator
+//! seeded from the test's module path, name, and case index. There is no
+//! shrinking and no persistence file: a failing case reports the case
+//! index, and re-running reproduces it exactly because seeding never
+//! involves wall-clock time or OS entropy.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `proptest::prelude::prop` — entry to `prop::collection` /
+    /// `prop::sample` paths used in strategy expressions.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// `prop::sample::select(options)` — uniform choice of one element.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option list");
+        Select { options }
+    }
+}
+
+/// Deterministic seed for one test case: FNV-1a over the test identity,
+/// mixed with the case index. No time, no OS entropy.
+pub fn case_seed(module: &str, test: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in module.bytes().chain([b':']).chain(test.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The macro that defines property tests. Each inner `fn` (which must
+/// carry its own `#[test]` attribute, as with real proptest) becomes a
+/// zero-argument test running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @munch ($cfg) $($rest)* }
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            let mut ran: u32 = 0;
+            while ran < config.cases {
+                let seed = $crate::case_seed(module_path!(), stringify!($name), case);
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                case += 1;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg_pat =
+                            $crate::strategy::Strategy::generate(&($arg_strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => ran += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases * 16 + 1024,
+                            "too many prop_assume rejections ({rejected}) in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {} (seed {seed:#x}): {msg}",
+                            stringify!($name),
+                            case - 1
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest! { @munch ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @munch ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline shim of `serde`.
+//!
+//! The workspace annotates public config/report types with
+//! `#[derive(Serialize, Deserialize)]` so that a real serde can be dropped
+//! in by downstream users, but no code in-tree serializes anything. In
+//! offline builds the traits are plain markers and the derives (from the
+//! sibling `serde_derive` shim) expand to empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: nothing
+/// in-tree ever bounds on it).
+pub trait Deserialize {}

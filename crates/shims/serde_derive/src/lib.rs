@@ -1,0 +1,107 @@
+//! Offline shim of `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, and
+//! nothing in it actually serializes bytes — `#[derive(Serialize,
+//! Deserialize)]` annotations exist so downstream users can plug a real
+//! serde in. The derives therefore expand to marker-trait impls only.
+
+use proc_macro::{Ident, TokenStream, TokenTree};
+
+/// Pull the deriven type's name out of the item token stream: the first
+/// identifier after the `struct`/`enum` keyword.
+fn type_name(item: TokenStream) -> Option<Ident> {
+    let mut saw_kw = false;
+    for tt in item {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(id);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Collect the generic parameter names of the item (`<T, U: Bound>` -> `T, U`).
+/// Lifetimes and const generics are not used by any annotated type in this
+/// workspace, so only plain type parameters are handled.
+fn generic_params(item: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut tokens = item.into_iter();
+    // Skip until the type name, then inspect what follows.
+    let mut saw_kw = false;
+    let mut named = false;
+    let mut depth = 0usize;
+    let mut expecting_param = false;
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if named && depth > 0 && expecting_param {
+                    out.push(s);
+                    expecting_param = false;
+                } else if saw_kw && !named {
+                    named = true;
+                } else if !saw_kw && (s == "struct" || s == "enum") {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    if named {
+                        depth += 1;
+                        if depth == 1 {
+                            expecting_param = true;
+                        }
+                    }
+                }
+                '>' => {
+                    if depth > 0 {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                ',' if depth == 1 => expecting_param = true,
+                ':' if depth == 1 => expecting_param = false,
+                _ => {}
+            },
+            _ => {
+                if named && depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn marker_impl(trait_name: &str, item: TokenStream) -> TokenStream {
+    let Some(name) = type_name(item.clone()) else {
+        return TokenStream::new();
+    };
+    let params = generic_params(item);
+    let src = if params.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        let list = params.join(", ");
+        format!("impl<{list}> serde::{trait_name} for {name}<{list}> {{}}")
+    };
+    src.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    marker_impl("Serialize", item)
+}
+
+/// No-op `Deserialize` derive: emits a marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", item)
+}

@@ -129,7 +129,9 @@ impl Breakdown {
 
     /// Combined data-movement time (file I/O + device transfers + memcpy).
     pub fn movement(&self) -> SimDur {
-        self.get(Category::FileIo) + self.get(Category::DeviceTransfer) + self.get(Category::MemCopy)
+        self.get(Category::FileIo)
+            + self.get(Category::DeviceTransfer)
+            + self.get(Category::MemCopy)
     }
 }
 
@@ -158,7 +160,13 @@ impl Timeline {
     }
 
     /// Record an activity span.
-    pub fn record(&mut self, start: SimTime, end: SimTime, category: Category, label: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        category: Category,
+        label: impl Into<String>,
+    ) {
         let end = end.max(start);
         self.busy[category.index()] += end.since(start);
         self.makespan = self.makespan.max(end);

@@ -233,7 +233,13 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let workers: Vec<SimWorker> = (0..6)
-            .map(|i| SimWorker::new(format!("w{i}"), 1.0 + i as f64, (0..6).filter(|&v| v != i).collect()))
+            .map(|i| {
+                SimWorker::new(
+                    format!("w{i}"),
+                    1.0 + i as f64,
+                    (0..6).filter(|&v| v != i).collect(),
+                )
+            })
             .collect();
         let costs: Vec<f64> = (0..200).map(|i| 1.0 + (i % 7) as f64).collect();
         let a = simulate_stealing(&workers, deal_round_robin(&costs, 6));

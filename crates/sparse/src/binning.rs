@@ -231,8 +231,7 @@ mod tests {
 
     #[test]
     fn single_long_row_matrix() {
-        let triplets: Vec<(usize, u32, f32)> =
-            (0..2000u32).map(|c| (0usize, c, 1.0f32)).collect();
+        let triplets: Vec<(usize, u32, f32)> = (0..2000u32).map(|c| (0usize, c, 1.0f32)).collect();
         let m = Csr::from_coo(1, 2000, triplets);
         let p = BinningParams {
             stream_nnz: 128,

@@ -83,7 +83,10 @@ impl Csr {
     /// out-of-range triplets panic.
     pub fn from_coo(rows: usize, cols: usize, mut triplets: Vec<(usize, u32, f32)>) -> Self {
         for &(r, c, _) in &triplets {
-            assert!(r < rows && (c as usize) < cols, "triplet ({r},{c}) out of range");
+            assert!(
+                r < rows && (c as usize) < cols,
+                "triplet ({r},{c}) out of range"
+            );
         }
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // Sum duplicates.
@@ -167,13 +170,13 @@ impl Csr {
     pub fn spmv_reference(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0f32;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -182,7 +185,10 @@ impl Csr {
     /// of data constituting a sub-shard is determined with row_ptr[start]
     /// and row_ptr[end]" (§IV-C).
     pub fn slice_rows(&self, start: usize, end: usize) -> Csr {
-        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
         let lo = self.row_ptr[start];
         let hi = self.row_ptr[end];
         Csr {
@@ -264,7 +270,11 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        Csr::from_coo(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+        Csr::from_coo(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
     }
 
     #[test]
@@ -336,7 +346,10 @@ mod tests {
     fn validate_catches_unsorted_row() {
         let mut m = small();
         m.col_idx.swap(0, 1);
-        assert!(matches!(m.validate(), Err(CsrError::UnsortedRow { row: 0 })));
+        assert!(matches!(
+            m.validate(),
+            Err(CsrError::UnsortedRow { row: 0 })
+        ));
     }
 
     #[test]
@@ -370,10 +383,10 @@ mod tests {
         t.spmv_reference(&x, &mut via_t);
         // Reference: manual x^T A.
         let mut direct = vec![0.0f32; m.cols];
-        for r in 0..m.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let (cols, vals) = m.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
-                direct[c as usize] += v * x[r];
+                direct[c as usize] += v * xr;
             }
         }
         for (a, b) in via_t.iter().zip(&direct) {

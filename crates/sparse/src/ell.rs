@@ -109,10 +109,10 @@ impl Ell {
         // access pattern the format exists for.
         for s in 0..self.width {
             let base = s * self.rows;
-            for r in 0..self.rows {
+            for (r, yr) in y.iter_mut().enumerate() {
                 let c = self.col_idx[base + r];
                 if c != ELL_PAD {
-                    y[r] += self.vals[base + r] * x[c as usize];
+                    *yr += self.vals[base + r] * x[c as usize];
                 }
             }
         }

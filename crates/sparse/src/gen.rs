@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 /// uniformly random distinct columns. Models well-balanced matrices where
 /// CSR-Stream handles everything.
 pub fn uniform_random(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr {
-    assert!(nnz_per_row <= cols, "row cannot hold {nnz_per_row} distinct cols");
+    assert!(
+        nnz_per_row <= cols,
+        "row cannot hold {nnz_per_row} distinct cols"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut row_ptr = Vec::with_capacity(rows + 1);
     let mut col_idx = Vec::with_capacity(rows * nnz_per_row);
@@ -74,8 +77,7 @@ pub fn powerlaw(rows: usize, cols: usize, max_nnz: usize, alpha: f64, seed: u64)
         order.swap(i, j);
     }
     let mut triplets = Vec::new();
-    for r in 0..rows {
-        let rank = order[r];
+    for (r, &rank) in order.iter().enumerate() {
         let len = ((max_nnz as f64) / (1.0 + rank as f64).powf(alpha)).ceil() as usize;
         let len = len.clamp(1, max_nnz);
         let mut cols_buf: Vec<u32> = Vec::with_capacity(len);

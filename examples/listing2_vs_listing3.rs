@@ -109,18 +109,27 @@ fn main() -> Result<()> {
         ExecMode::Real,
     )?;
     listing2_style(&apu)?;
-    println!("  on the APU machine it was written for: OK, makespan {}", apu.makespan());
+    println!(
+        "  on the APU machine it was written for: OK, makespan {}",
+        apu.makespan()
+    );
 
     let exa = Runtime::new(presets::exascale_node(), ExecMode::Real)?;
     let quiet = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
     let broke = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| listing2_style(&exa)));
     std::panic::set_hook(quiet);
-    assert!(broke.is_err(), "Listing-2 code must fail on a deeper machine");
+    assert!(
+        broke.is_err(),
+        "Listing-2 code must fail on a deeper machine"
+    );
     println!("  on the 4-level exascale machine: FAILS (two-level assumption baked in)");
 
     println!("\nListing 3 (Northup recursive style) — unchanged code, every machine:");
-    run_listing3(presets::apu_two_level(catalog::ssd_hyperx_predator()), "APU+SSD")?;
+    run_listing3(
+        presets::apu_two_level(catalog::ssd_hyperx_predator()),
+        "APU+SSD",
+    )?;
     run_listing3(presets::apu_two_level(catalog::hdd_wd5000()), "APU+HDD")?;
     run_listing3(
         presets::discrete_gpu_three_level(catalog::ssd_hyperx_predator()),

@@ -59,7 +59,11 @@ fn real_stealing_demo() {
             let steals = &steals;
             let is_gpu = i < GPU_WORKERS;
             let victims: Vec<usize> = if is_gpu {
-                cpu_queue_range.clone().chain(0..GPU_WORKERS).filter(|&v| v != i).collect()
+                cpu_queue_range
+                    .clone()
+                    .chain(0..GPU_WORKERS)
+                    .filter(|&v| v != i)
+                    .collect()
             } else {
                 Vec::new()
             };
@@ -114,7 +118,10 @@ fn real_stealing_demo() {
 
 fn fig11_study() {
     println!("\nFig. 11 (virtual time): stealing speedup vs GPU-only, per queue count");
-    println!("{:<16} {:>4} {:>9} {:>12} {:>8}", "input", "q", "speedup", "makespan", "steals");
+    println!(
+        "{:<16} {:>4} {:>9} {:>12} {:>8}",
+        "input", "q", "speedup", "makespan", "steals"
+    );
     for (m, n) in [(16_384usize, 2_048usize), (16_384, 4_096), (32_768, 4_096)] {
         for q in [8usize, 16, 32] {
             let cfg = BalanceConfig {

@@ -32,14 +32,22 @@ fn main() -> Result<()> {
         "sum  = {sum:>14.3}  {}  io share {:.0}%{}",
         run.makespan(),
         100.0 * run.share(Category::FileIo),
-        if run.verified == Some(true) { "  [verified]" } else { "" }
+        if run.verified == Some(true) {
+            "  [verified]"
+        } else {
+            ""
+        }
     );
 
     let (max, run) = reduce_northup(&cfg, ReduceOp::Max, tree(), mode)?;
     println!(
         "max  = {max:>14.3}  {}{}",
         run.makespan(),
-        if run.verified == Some(true) { "  [verified]" } else { "" }
+        if run.verified == Some(true) {
+            "  [verified]"
+        } else {
+            ""
+        }
     );
 
     let run = map_northup(&cfg, 2.0, 1.0, tree(), mode)?;
@@ -48,7 +56,11 @@ fn main() -> Result<()> {
         run.makespan(),
         cfg.elements * 4,
         cfg.elements * 4,
-        if run.verified == Some(true) { "  [verified]" } else { "" }
+        if run.verified == Some(true) {
+            "  [verified]"
+        } else {
+            ""
+        }
     );
 
     println!("\npure streams cannot hide their I/O — compare with the GEMM example,");

@@ -56,8 +56,16 @@ fn main() {
         &presets::discrete_gpu_three_level(catalog::hdd_wd5000()),
         dot,
     );
-    describe("asymmetric heterogeneous tree (paper Fig. 2)", &presets::asymmetric_fig2(), dot);
-    describe("exascale node: NVM+DRAM+HBM+GPU (paper §V-D)", &presets::exascale_node(), dot);
+    describe(
+        "asymmetric heterogeneous tree (paper Fig. 2)",
+        &presets::asymmetric_fig2(),
+        dot,
+    );
+    describe(
+        "exascale node: NVM+DRAM+HBM+GPU (paper §V-D)",
+        &presets::exascale_node(),
+        dot,
+    );
 
     if !dot {
         // NVM remapping: same device, different software interface.

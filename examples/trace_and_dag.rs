@@ -16,9 +16,7 @@ use northup_suite::apps::matmul::matmul_northup_on;
 use northup_suite::prelude::*;
 
 fn main() -> Result<()> {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| ".".to_string());
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
 
     let rt = Runtime::new(
         presets::apu_two_level(catalog::ssd_hyperx_predator()),
@@ -36,7 +34,10 @@ fn main() -> Result<()> {
     std::fs::write(&trace_path, &trace).expect("write trace");
     std::fs::write(&dag_path, dag.render_dot()).expect("write dag");
 
-    println!("out-of-core GEMM (paper scale, modeled): makespan {}", run.makespan());
+    println!(
+        "out-of-core GEMM (paper scale, modeled): makespan {}",
+        run.makespan()
+    );
     println!(
         "task DAG: {} ops, {} edges, critical path {} over {} ops",
         dag.len(),

@@ -12,6 +12,9 @@
 //! * [`sparse`] — CSR matrices, generators, sharding, CSR-Adaptive binning.
 //! * [`kernels`] — GEMM / HotSpot-2D / SpMV kernels and device cost models.
 //! * [`apps`] — the three paper case studies plus the work-stealing leaf.
+//! * [`sched`] — the multi-tenant job scheduler: admission control over
+//!   per-node capacity reservations, weighted fair queueing, and the
+//!   deterministic service co-simulation.
 //!
 //! See `examples/quickstart.rs` for the 5-minute tour and DESIGN.md for the
 //! full paper-to-code map.
@@ -21,6 +24,7 @@ pub use northup_apps as apps;
 pub use northup_exec as exec;
 pub use northup_hw as hw;
 pub use northup_kernels as kernels;
+pub use northup_sched as sched;
 pub use northup_sim as sim;
 pub use northup_sparse as sparse;
 
@@ -35,6 +39,10 @@ pub mod prelude {
         AppRun, BalanceConfig, HotspotConfig, MatmulConfig, SpmvInput,
     };
     pub use northup_hw::{catalog, DeviceKind, DeviceSpec, StorageClass};
+    pub use northup_sched::{
+        AdmissionPolicy, JobScheduler, JobSpec, JobState, JobWork, Priority, Reservation,
+        SchedReport, SchedulerConfig,
+    };
     pub use northup_sim::{Category, SimDur, SimTime};
 }
 

@@ -78,7 +78,10 @@ fn makespan_at_least_every_single_resource_busy_time() {
 
 #[test]
 fn out_of_core_never_beats_in_memory() {
-    for storage in [catalog::ssd_with_bandwidth(10_000, 10_000), catalog::hdd_wd5000()] {
+    for storage in [
+        catalog::ssd_with_bandwidth(10_000, 10_000),
+        catalog::hdd_wd5000(),
+    ] {
         let cfg = HotspotConfig::paper();
         let base = hotspot_in_memory(&cfg, ExecMode::Modeled).unwrap();
         let run = hotspot_apu(&cfg, storage, ExecMode::Modeled).unwrap();

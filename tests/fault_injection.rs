@@ -2,9 +2,9 @@
 //! a real out-of-core run must surface as a clean `Err`, never a panic or
 //! corrupted accounting, and the runtime must stay usable afterwards.
 
+use northup_suite::core::runtime::SetupCosts;
 use northup_suite::hw::{FaultOps, FaultyBackend, HeapBackend, StorageBackend};
 use northup_suite::prelude::*;
-use northup_suite::core::runtime::SetupCosts;
 
 fn faulty_runtime(ops: FaultOps, fail_every: u64) -> Runtime {
     let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());

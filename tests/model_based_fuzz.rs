@@ -75,8 +75,9 @@ impl Model {
             Op::Write { pick, seed } => {
                 if let Some(i) = self.pick(pick) {
                     let (h, _, mirror) = &mut self.live[i];
-                    let data: Vec<u8> =
-                        (0..mirror.len()).map(|k| seed.wrapping_add(k as u8)).collect();
+                    let data: Vec<u8> = (0..mirror.len())
+                        .map(|k| seed.wrapping_add(k as u8))
+                        .collect();
                     self.rt.write_slice(*h, 0, &data).unwrap();
                     mirror.copy_from_slice(&data);
                 }

@@ -3,7 +3,9 @@
 //! relative throughput.
 
 use northup_suite::exec::ThreadPool;
-use northup_suite::kernels::{matmul_naive, matmul_parallel, multi_step_parallel, DenseMatrix, HotSpotParams};
+use northup_suite::kernels::{
+    matmul_naive, matmul_parallel, multi_step_parallel, DenseMatrix, HotSpotParams,
+};
 use northup_suite::sim::{deal_round_robin, simulate_stealing, SimWorker};
 use proptest::prelude::*;
 use std::collections::VecDeque;
