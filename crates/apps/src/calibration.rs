@@ -62,7 +62,7 @@ pub fn spmv_gpu_model() -> ProcModel {
 }
 
 /// SpMV on the discrete GPU: gathers hit GDDR5 with high parallelism; the
-/// paper's [20] reports ~4.5x over cuSPARSE, still far from streaming BW.
+/// paper's ref. \[20\] reports ~4.5x over cuSPARSE, still far from streaming BW.
 pub fn spmv_dgpu_model() -> ProcModel {
     ProcModel {
         name: "w9100-spmv".into(),

@@ -15,6 +15,7 @@
 //!   parallelism emerges from the resource model rather than being coded.
 
 use crate::calibration::model_for;
+use crate::host::when_real;
 use crate::report::AppRun;
 use northup::{BufferHandle, ExecMode, NodeId, ProcKind, Result, Runtime};
 use northup_kernels::{
@@ -89,7 +90,7 @@ pub fn gemm_cluster(cfg: &DistGemmConfig, mode: ExecMode) -> Result<AppRun> {
     let b_file = rt.alloc(n * n * 4, root)?;
     let c_file = rt.alloc(n * n * 4, root)?;
 
-    let (a_mat, b_mat) = if mode == ExecMode::Real {
+    let (a_mat, b_mat) = when_real(mode, || {
         let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
         let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
         rt.write_slice(a_file, 0, &f32s_to_bytes(&am.data))?;
@@ -97,10 +98,9 @@ pub fn gemm_cluster(cfg: &DistGemmConfig, mode: ExecMode) -> Result<AppRun> {
             let shard = bm.extract_block(0, (j * block) as usize, cfg.n, cfg.block);
             rt.write_slice(b_file, j * shard_b, &f32s_to_bytes(&shard.data))?;
         }
-        (Some(am), Some(bm))
-    } else {
-        (None, None)
-    };
+        Ok((am, bm))
+    })?
+    .unzip();
 
     // Build each node's chain and buffers.
     let mut chains: Vec<NodeChain> = Vec::new();

@@ -1,0 +1,50 @@
+//! Host-side execution-mode helpers shared by the application drivers.
+//!
+//! Every out-of-core driver runs the same virtual-time bookkeeping in
+//! both [`ExecMode`]s, but only materializes host oracles and real bytes
+//! under [`ExecMode::Real`]. [`when_real`] captures that guard once so
+//! the drivers read as a single code path instead of repeating the
+//! `if mode == ExecMode::Real { … Some } else { None }` block.
+
+use northup::{ExecMode, Result};
+
+/// Run `init` only in [`ExecMode::Real`], passing its value through as
+/// `Some`; in `Modeled` mode the initializer never runs and the result
+/// is `None`.
+///
+/// Pair with [`Option::unzip`] when the initializer produces an input
+/// pair (the A/B matrices, the temperature/power grids).
+pub fn when_real<T>(mode: ExecMode, init: impl FnOnce() -> Result<T>) -> Result<Option<T>> {
+    if mode == ExecMode::Real {
+        init().map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_mode_skips_the_initializer() {
+        let mut ran = false;
+        let out = when_real(ExecMode::Modeled, || {
+            ran = true;
+            Ok(7)
+        })
+        .unwrap();
+        assert_eq!(out, None);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn real_mode_runs_it_and_propagates_errors() {
+        let out = when_real(ExecMode::Real, || Ok((1, 2))).unwrap();
+        assert_eq!(out.unzip(), (Some(1), Some(2)));
+        let err: Result<Option<u32>> = when_real(ExecMode::Real, || {
+            Err(northup::NorthupError::NoProcessor(northup::NodeId(0)))
+        });
+        assert!(err.is_err());
+    }
+}

@@ -11,6 +11,7 @@
 //! across passes.
 
 use crate::calibration::{model_for, HOTSPOT_STEPS_PER_PASS};
+use crate::host::when_real;
 use crate::report::AppRun;
 use northup::{BufferHandle, ExecMode, ProcKind, Result, Runtime, Tree};
 use northup_kernels::{
@@ -181,14 +182,13 @@ pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
     let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
     let p_file = rt.alloc(n2b, root)?;
 
-    let (t_mat, p_mat) = if mode == ExecMode::Real {
+    let (t_mat, p_mat) = when_real(mode, || {
         let (tm, pm) = inputs(cfg);
         rt.write_slice(t_files[0], 0, &f32s_to_bytes(&tm.data))?;
         rt.write_slice(p_file, 0, &f32s_to_bytes(&pm.data))?;
-        (Some(tm), Some(pm))
-    } else {
-        (None, None)
-    };
+        Ok((tm, pm))
+    })?
+    .unzip();
 
     let stage_node = *rt.tree().children(root).first().expect("staging level");
     let max_region = ((cfg.block + 2 * halo) * (cfg.block + 2 * halo) * 4) as u64;
@@ -425,14 +425,13 @@ pub fn hotspot_split_leaf(
     let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
     let p_file = rt.alloc(n2b, root)?;
 
-    let (t_mat, p_mat) = if mode == ExecMode::Real {
+    let (t_mat, p_mat) = when_real(mode, || {
         let (tm, pm) = inputs(cfg);
         rt.write_slice(t_files[0], 0, &f32s_to_bytes(&tm.data))?;
         rt.write_slice(p_file, 0, &f32s_to_bytes(&pm.data))?;
-        (Some(tm), Some(pm))
-    } else {
-        (None, None)
-    };
+        Ok((tm, pm))
+    })?
+    .unzip();
 
     let stage_node = *rt.tree().children(root).first().expect("staging level");
     let gpu_model = model_for("apu-gpu");

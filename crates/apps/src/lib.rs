@@ -29,6 +29,7 @@ pub mod adaptive;
 pub mod balance;
 pub mod calibration;
 pub mod distributed;
+pub mod host;
 pub mod hotspot;
 pub mod layout;
 pub mod matmul;
@@ -41,6 +42,7 @@ pub mod subtree;
 pub use adaptive::{adaptive_stencil_stream, AdaptiveMapper, AdaptiveOutcome, Policy};
 pub use balance::{fig11_speedup, run_balanced, BalanceConfig, BalanceRun, LeafRates};
 pub use distributed::{gemm_cluster, scaling_curve, DistGemmConfig};
+pub use host::when_real;
 pub use hotspot::{
     hotspot_apu, hotspot_in_memory, hotspot_northup, hotspot_split_leaf, optimal_gpu_fraction,
     HotspotConfig,
@@ -49,6 +51,10 @@ pub use layout::{format_study, spmv_with_format, FormatRow, SpmvFormat};
 pub use matmul::{matmul_apu, matmul_in_memory, matmul_northup, MatmulConfig};
 pub use reduce::{map_northup, reduce_northup, ReduceOp, StreamConfig};
 pub use report::AppRun;
-pub use service::{job_profile, run_service, synthetic_trace, ServiceJobKind, TraceConfig};
+pub use service::{
+    job_profile, run_service, run_service_real, run_service_with, synthetic_trace, trace_from_csv,
+    trace_to_csv, RealJobRun, ServiceJobKind, ServiceRealRun, TraceConfig, TraceError, TraceSource,
+    SERVICE_TENANTS, TRACE_CSV_HEADER,
+};
 pub use spmv::{spmv_apu, spmv_in_memory, spmv_northup, SpmvInput};
 pub use subtree::{branches, run_batch, Branch, Dispatch, SubtreeOutcome};

@@ -16,6 +16,7 @@
 //! the same A-reuse.
 
 use crate::calibration::{model_for, GEMM_RING};
+use crate::host::when_real;
 use crate::report::AppRun;
 use northup::{BufferHandle, ExecMode, NodeId, ProcKind, Result, Runtime, Tree};
 use northup_kernels::{f32s_to_bytes, matmul_naive, matmul_tiled, DenseMatrix, LEAF_TILE};
@@ -111,15 +112,14 @@ pub fn matmul_in_memory(cfg: &MatmulConfig, mode: ExecMode) -> Result<AppRun> {
     let b = root.alloc(bytes)?;
     let c = root.alloc(bytes)?;
 
-    let (a_mat, b_mat) = if mode == ExecMode::Real {
+    let (a_mat, b_mat) = when_real(mode, || {
         let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
         let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
         rt.write_slice(a, 0, &f32s_to_bytes(&am.data))?;
         rt.write_slice(b, 0, &f32s_to_bytes(&bm.data))?;
-        (Some(am), Some(bm))
-    } else {
-        (None, None)
-    };
+        Ok((am, bm))
+    })?
+    .unzip();
 
     let gpu = root
         .procs()
@@ -218,7 +218,7 @@ pub fn matmul_northup_on(rt: &Runtime, cfg: &MatmulConfig) -> Result<AppRun> {
 
     // Preprocessing (uncharged, as in the paper): write A row-major and B in
     // column-shard-major layout.
-    let (a_mat, b_mat) = if mode == ExecMode::Real {
+    let (a_mat, b_mat) = when_real(mode, || {
         let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
         let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
         rt.write_slice(a_file, 0, &f32s_to_bytes(&am.data))?;
@@ -226,10 +226,9 @@ pub fn matmul_northup_on(rt: &Runtime, cfg: &MatmulConfig) -> Result<AppRun> {
             let shard = bm.extract_block(0, (j * block) as usize, cfg.n, cfg.block);
             rt.write_slice(b_file, j * shard_b, &f32s_to_bytes(&shard.data))?;
         }
-        (Some(am), Some(bm))
-    } else {
-        (None, None)
-    };
+        Ok((am, bm))
+    })?
+    .unzip();
 
     // Staging level (first child of the root).
     let stage_node = *rt.tree().children(root).first().expect("staging level");
@@ -411,7 +410,7 @@ pub fn matmul_northup_ksplit(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> 
     let b_file = rt.alloc(n * n * es, root)?;
     let c_file = rt.alloc(n * n * es, root)?;
 
-    let (a_mat, b_mat) = if mode == ExecMode::Real {
+    let (a_mat, b_mat) = when_real(mode, || {
         let am = DenseMatrix::random(cfg.n, cfg.n, cfg.seed);
         let bm = DenseMatrix::random(cfg.n, cfg.n, cfg.seed + 1);
         for (m, file) in [(&am, a_file), (&bm, b_file)] {
@@ -427,10 +426,9 @@ pub fn matmul_northup_ksplit(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> 
                 }
             }
         }
-        (Some(am), Some(bm))
-    } else {
-        (None, None)
-    };
+        Ok((am, bm))
+    })?
+    .unzip();
 
     let stage = *rt.tree().children(root).first().expect("staging level");
     let gpu = rt

@@ -1,5 +1,7 @@
 //! Out-of-core map and reduce — a fourth application family, built entirely
-//! on the generic [`ChunkPipeline`](northup::ChunkPipeline).
+//! on the generic [`ChunkPipeline`].
+//!
+//! [`ChunkPipeline`]: northup::ChunkPipeline
 //!
 //! The paper claims the framework "is generic to a variety of problems"
 //! (§IV); these two primitives demonstrate it: a new out-of-core operator
@@ -13,6 +15,7 @@
 //!   (stream in, stream out).
 
 use crate::calibration::model_for;
+use crate::host::when_real;
 use crate::report::AppRun;
 use northup::{ChunkPipeline, ExecMode, ProcKind, Result, Runtime, Tree};
 use northup_kernels::{bytes_to_f32s, f32s_to_bytes};
@@ -97,13 +100,11 @@ pub fn reduce_northup(
     let bytes = cfg.elements * 4;
     let file = rt.alloc(bytes, root)?;
 
-    let host = if mode == ExecMode::Real {
+    let host = when_real(mode, || {
         let data = cfg.host_input();
         rt.write_slice(file, 0, &f32s_to_bytes(&data))?;
-        Some(data)
-    } else {
-        None
-    };
+        Ok(data)
+    })?;
 
     let stage = *rt.tree().children(root).first().expect("staging level");
     let gpu = rt
@@ -186,13 +187,11 @@ pub fn map_northup(
     let x_file = rt.alloc(bytes, root)?;
     let y_file = rt.alloc(bytes, root)?;
 
-    let host = if mode == ExecMode::Real {
+    let host = when_real(mode, || {
         let data = cfg.host_input();
         rt.write_slice(x_file, 0, &f32s_to_bytes(&data))?;
-        Some(data)
-    } else {
-        None
-    };
+        Ok(data)
+    })?;
 
     let stage = *rt.tree().children(root).first().expect("staging level");
     let gpu = rt

@@ -1,6 +1,6 @@
-//! Multi-tenant service driver: replay a synthetic arrival trace of mixed
+//! Multi-tenant service driver: replay an arrival trace of mixed
 //! out-of-core jobs (GEMM, HotSpot, SpMV) through the `northup-sched`
-//! admission-controlled scheduler.
+//! admission-controlled scheduler — modeled or on real threads.
 //!
 //! Each application's steady state is collapsed to the [`JobWork`] shape
 //! the scheduler's co-simulation serves (per-chunk root read, link
@@ -8,16 +8,29 @@
 //! from the same blocking parameters the real out-of-core drivers use —
 //! so a "GEMM tenant" holds the DRAM staging ring a real paper-scale
 //! GEMM would hold.
+//!
+//! Traces come from a [`TraceSource`]: generated
+//! ([`synthetic_trace`], seeded and deterministic) or imported from CSV
+//! ([`trace_from_csv`]; a checked-in sample lives at
+//! `crates/apps/data/service_trace.csv`). [`run_service`] replays a trace
+//! in virtual time only; [`run_service_real`] additionally executes every
+//! admitted job's chunk chain on a shared `northup-exec` thread pool
+//! through [`RealFabric`], with each job's admitted reservation installed
+//! as a `CapacityLease` so staging allocations are enforced for real.
 
 use crate::calibration::paper;
 use crate::calibration::GEMM_RING;
 use northup::Tree;
+use northup_exec::{CancelToken, ThreadPool};
 use northup_sched::{
-    staging_reservation, AdmissionPolicy, JobScheduler, JobSpec, JobWork, Priority, SchedReport,
-    SchedulerConfig,
+    build_chain, staging_reservation, AdmissionPolicy, Fabric, JobId, JobScheduler, JobSpec,
+    JobWork, Priority, RealFabric, SchedReport, SchedulerConfig, TenantId,
 };
 use northup_sim::{SimDur, SimTime};
 use rand::{Rng, SeedableRng, StdRng};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The application mix a service-trace job can be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,9 +145,14 @@ impl Default for TraceConfig {
     }
 }
 
+/// How many tenants a synthetic trace cycles through.
+pub const SERVICE_TENANTS: u32 = 4;
+
 /// Generate a deterministic mixed-application arrival trace: kinds cycle
-/// Gemm → Hotspot → SpMV, priorities and inter-arrival gaps are drawn
-/// from the seeded RNG.
+/// Gemm → Hotspot → SpMV, tenants cycle `0..SERVICE_TENANTS` (both
+/// index-derived, so adding quota experiments never perturbs the RNG
+/// stream), priorities and inter-arrival gaps are drawn from the seeded
+/// RNG.
 pub fn synthetic_trace(tree: &Tree, cfg: &TraceConfig) -> Vec<JobSpec> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut at_us: u64 = 0;
@@ -143,6 +161,7 @@ pub fn synthetic_trace(tree: &Tree, cfg: &TraceConfig) -> Vec<JobSpec> {
         let kind = ServiceJobKind::ALL[i % ServiceJobKind::ALL.len()];
         let (mut spec, _) = job_profile(kind, tree, cfg.scale);
         spec.name = format!("{}-{i}", kind.label());
+        spec.tenant = TenantId(i as u32 % SERVICE_TENANTS);
         spec.priority = match rng.gen_range(0..6u32) {
             0 => Priority::Interactive,
             1 | 2 => Priority::Batch,
@@ -155,19 +174,282 @@ pub fn synthetic_trace(tree: &Tree, cfg: &TraceConfig) -> Vec<JobSpec> {
     trace
 }
 
-/// Replay `trace` through a [`JobScheduler`] with the given policy.
+/// Where a service trace comes from.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Generated from a seeded [`TraceConfig`].
+    Synthetic(TraceConfig),
+    /// Imported from a CSV file (see [`trace_from_csv`] for the format).
+    Csv(PathBuf),
+}
+
+impl TraceSource {
+    /// Materialize the trace (generating or parsing as appropriate).
+    pub fn load(&self, tree: &Tree) -> Result<Vec<JobSpec>, TraceError> {
+        match self {
+            TraceSource::Synthetic(cfg) => Ok(synthetic_trace(tree, cfg)),
+            TraceSource::Csv(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| TraceError::at(0, format!("{}: {e}", path.display())))?;
+                trace_from_csv(&text)
+            }
+        }
+    }
+}
+
+/// A malformed trace file: the offending line (1-based; 0 for file-level
+/// problems) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number (0 when the file itself could not be read).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl TraceError {
+    fn at(line: usize, msg: impl Into<String>) -> Self {
+        TraceError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The header line every trace CSV must start with (after optional `#`
+/// comments). Times are integer nanoseconds so round-trips are exact.
+pub const TRACE_CSV_HEADER: &str =
+    "name,tenant,priority,arrival_ns,chunks,read_bytes,xfer_bytes,compute_ns,write_bytes,reservation";
+
+fn priority_label(p: Priority) -> &'static str {
+    match p {
+        Priority::Interactive => "interactive",
+        Priority::Normal => "normal",
+        Priority::Batch => "batch",
+    }
+}
+
+/// Serialize a trace to the CSV format [`trace_from_csv`] parses. The
+/// `reservation` column holds `node:bytes` pairs joined by `;` (`-` when
+/// empty); job names must not contain commas.
+pub fn trace_to_csv(trace: &[JobSpec]) -> String {
+    let mut out = String::from(TRACE_CSV_HEADER);
+    out.push('\n');
+    for spec in trace {
+        let reserve = if spec.reservation.is_empty() {
+            "-".to_string()
+        } else {
+            spec.reservation
+                .iter()
+                .map(|(n, b)| format!("{}:{b}", n.0))
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            spec.name,
+            spec.tenant.0,
+            priority_label(spec.priority),
+            spec.arrival.0,
+            spec.work.chunks,
+            spec.work.read_bytes,
+            spec.work.xfer_bytes,
+            spec.work.compute.0,
+            spec.work.write_bytes,
+            reserve,
+        ));
+    }
+    out
+}
+
+/// Parse a trace from CSV text: a [`TRACE_CSV_HEADER`] line followed by
+/// one job per line. Blank lines and `#` comments are ignored; errors
+/// carry the 1-based line number.
+pub fn trace_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| TraceError::at(0, "empty trace"))?;
+    if header != TRACE_CSV_HEADER {
+        return Err(TraceError::at(
+            hline,
+            format!("expected header `{TRACE_CSV_HEADER}`"),
+        ));
+    }
+    let mut trace = Vec::new();
+    for (ln, line) in lines {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 10 {
+            return Err(TraceError::at(
+                ln,
+                format!("expected 10 fields, got {}", f.len()),
+            ));
+        }
+        let num = |s: &str, what: &str| -> Result<u64, TraceError> {
+            s.parse()
+                .map_err(|_| TraceError::at(ln, format!("bad {what} `{s}`")))
+        };
+        let priority = match f[2] {
+            "interactive" => Priority::Interactive,
+            "normal" => Priority::Normal,
+            "batch" => Priority::Batch,
+            other => return Err(TraceError::at(ln, format!("bad priority `{other}`"))),
+        };
+        let mut reservation = northup_sched::Reservation::new();
+        if f[9] != "-" {
+            for pair in f[9].split(';') {
+                let (node, bytes) = pair
+                    .split_once(':')
+                    .ok_or_else(|| TraceError::at(ln, format!("bad reservation `{pair}`")))?;
+                let node: usize = node
+                    .parse()
+                    .map_err(|_| TraceError::at(ln, format!("bad reservation node `{node}`")))?;
+                reservation.set(northup::NodeId(node), num(bytes, "reservation bytes")?);
+            }
+        }
+        let work = JobWork::new(num(f[4], "chunks")? as u32)
+            .read(num(f[5], "read_bytes")?)
+            .xfer(num(f[6], "xfer_bytes")?)
+            .compute(SimDur(num(f[7], "compute_ns")?))
+            .write(num(f[8], "write_bytes")?);
+        trace.push(
+            JobSpec::new(f[0], reservation, work)
+                .tenant(TenantId(num(f[1], "tenant")? as u32))
+                .priority(priority)
+                .arrival(SimTime(num(f[3], "arrival_ns")?)),
+        );
+    }
+    Ok(trace)
+}
+
+/// Replay `trace` through a [`JobScheduler`] with the given policy and
+/// otherwise-default configuration.
 pub fn run_service(tree: &Tree, trace: Vec<JobSpec>, policy: AdmissionPolicy) -> SchedReport {
-    let mut sched = JobScheduler::new(
-        tree.clone(),
+    run_service_with(
+        tree,
+        trace,
         SchedulerConfig {
             policy,
             ..SchedulerConfig::default()
         },
-    );
+    )
+}
+
+/// Replay `trace` through a [`JobScheduler`] with full control over the
+/// configuration (preemption, resize drain, tenant quotas).
+pub fn run_service_with(tree: &Tree, trace: Vec<JobSpec>, cfg: SchedulerConfig) -> SchedReport {
+    let mut sched = JobScheduler::new(tree.clone(), cfg);
     for spec in trace {
         sched.submit(spec);
     }
     sched.run()
+}
+
+/// One job's real-thread execution record from [`run_service_real`].
+#[derive(Debug, Clone)]
+pub struct RealJobRun {
+    /// The scheduler's job id (submission order).
+    pub id: JobId,
+    /// Job name from the trace.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Chunks executed for real (always equals the modeled `chunks_done`).
+    pub chunks_run: u32,
+    /// The fabric's commutative checksum over every staged byte —
+    /// deterministic for a given chunk set regardless of thread count.
+    pub checksum: u64,
+}
+
+/// Result of [`run_service_real`]: the modeled schedule plus the
+/// real-thread execution record of every job that ran chunks.
+#[derive(Debug)]
+pub struct ServiceRealRun {
+    /// The virtual-time schedule the execution followed.
+    pub report: SchedReport,
+    /// Real execution records, in job-id order (admitted jobs only).
+    pub jobs: Vec<RealJobRun>,
+    /// Worker threads in the shared pool.
+    pub threads: usize,
+}
+
+/// Replay `trace` in virtual time, then execute every admitted job's
+/// chunk chain **for real**: each job gets a [`RealFabric`] arena over
+/// `tree`, its admitted reservation installed as a `CapacityLease` (so
+/// staging `alloc`s are enforced at the byte level), and its chunks
+/// driven in order through `ThreadPool::run_chain` on a shared
+/// work-stealing pool — exactly the chunks the model says the job
+/// completed, including partial prefixes of cancelled jobs.
+pub fn run_service_real(
+    tree: &Tree,
+    trace: Vec<JobSpec>,
+    policy: AdmissionPolicy,
+    threads: usize,
+) -> northup::Result<ServiceRealRun> {
+    let specs = trace.clone();
+    let report = run_service(tree, trace, policy);
+    let pool = Arc::new(ThreadPool::new(threads));
+    let mut jobs = Vec::new();
+    for (outcome, spec) in report.jobs.iter().zip(&specs) {
+        let Some(leaf) = outcome.leaf else { continue };
+        if outcome.chunks_done == 0 {
+            continue;
+        }
+        let chain = build_chain(tree, leaf, spec.work.chunk_work(), spec.work.chunks);
+        let per_chunk = spec
+            .work
+            .read_bytes
+            .max(spec.work.xfer_bytes)
+            .max(spec.work.write_bytes)
+            .max(4 << 10);
+        let mut fab = RealFabric::new(tree, Arc::clone(&pool), per_chunk * 2)?;
+        if let Some(lease) = outcome.lease() {
+            fab.install_lease(lease);
+        }
+        let token = CancelToken::new();
+        let mut t = SimTime::ZERO;
+        let mut failure = None;
+        let done = pool.run_chain(0, outcome.chunks_done, &token, |i| {
+            match fab.run_chunk(&chain, i, t) {
+                Ok(end) => {
+                    t = end;
+                    true
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        debug_assert_eq!(done, outcome.chunks_done);
+        jobs.push(RealJobRun {
+            id: outcome.id,
+            name: outcome.name.clone(),
+            tenant: outcome.tenant,
+            chunks_run: done,
+            checksum: fab.checksum(),
+        });
+    }
+    Ok(ServiceRealRun {
+        report,
+        jobs,
+        threads,
+    })
 }
 
 #[cfg(test)]
@@ -225,5 +507,185 @@ mod tests {
             fair.throughput,
             fifo.throughput
         );
+    }
+
+    #[test]
+    fn trace_cycles_through_all_tenants() {
+        let tree = tree();
+        let trace = synthetic_trace(&tree, &TraceConfig::default());
+        let tenants: std::collections::BTreeSet<_> = trace.iter().map(|s| s.tenant).collect();
+        assert_eq!(tenants.len(), SERVICE_TENANTS as usize);
+        assert_eq!(trace[0].tenant, northup_sched::TenantId(0));
+        assert_eq!(trace[5].tenant, northup_sched::TenantId(1));
+    }
+
+    #[test]
+    fn csv_round_trips_the_synthetic_trace() {
+        let tree = tree();
+        let trace = synthetic_trace(&tree, &TraceConfig::default());
+        let csv = trace_to_csv(&trace);
+        let back = trace_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.work, b.work);
+            assert_eq!(a.reservation, b.reservation);
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors_carry_line_numbers() {
+        let err = trace_from_csv("nonsense").unwrap_err();
+        assert_eq!(err.line, 1);
+        let nine_fields = format!("{TRACE_CSV_HEADER}\nbad,0,normal,0,1,1,1,1,1\n");
+        let err = trace_from_csv(&nine_fields).unwrap_err();
+        assert_eq!(err.line, 2);
+        let bad_prio = format!("{TRACE_CSV_HEADER}\n# a comment\n\nj,0,urgent,0,1,1,1,1,1,-\n");
+        let err = trace_from_csv(&bad_prio).unwrap_err();
+        assert_eq!(err.line, 4, "comments and blanks keep their line numbers");
+        assert!(err.msg.contains("urgent"));
+        assert!(trace_from_csv("").is_err());
+    }
+
+    #[test]
+    fn checked_in_sample_trace_loads_and_completes() {
+        let tree = tree();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/service_trace.csv");
+        let trace = TraceSource::Csv(path.into()).load(&tree).unwrap();
+        assert!(trace.len() >= 8, "sample should be a real workload");
+        let tenants: std::collections::BTreeSet<_> = trace.iter().map(|s| s.tenant).collect();
+        assert!(tenants.len() >= 2, "sample exercises multiple tenants");
+        let report = run_service(&tree, trace, AdmissionPolicy::WeightedFair);
+        assert!(report.all_terminal());
+        assert!(report.count(JobState::Done) > 0);
+    }
+
+    /// Regenerate `data/service_trace.csv` after format or profile
+    /// changes: `cargo test -p northup-apps regenerate_sample_trace --
+    /// --ignored`.
+    #[test]
+    #[ignore = "writes the checked-in sample trace"]
+    fn regenerate_sample_trace() {
+        let tree = tree();
+        let cfg = TraceConfig {
+            jobs: 12,
+            seed: 11,
+            mean_gap_us: 1_500,
+            scale: 32,
+        };
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+        std::fs::create_dir_all(dir).unwrap();
+        let csv = trace_to_csv(&synthetic_trace(&tree, &cfg));
+        std::fs::write(format!("{dir}/service_trace.csv"), csv).unwrap();
+    }
+
+    #[test]
+    fn interactive_burst_preempts_batch_service_jobs() {
+        use northup_sched::Reservation;
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let budget = tree.node(dram).mem.capacity;
+        let hog = JobSpec::new(
+            "hog",
+            Reservation::new().with(dram, budget * 6 / 10),
+            JobWork::new(16)
+                .read(8 << 20)
+                .xfer(8 << 20)
+                .compute(SimDur::from_micros(500)),
+        )
+        .priority(Priority::Batch);
+        let vip = JobSpec::new(
+            "vip",
+            Reservation::new().with(dram, budget * 6 / 10),
+            JobWork::new(2)
+                .read(8 << 20)
+                .xfer(8 << 20)
+                .compute(SimDur::from_micros(500)),
+        )
+        .priority(Priority::Interactive)
+        .arrival(SimTime::from_secs_f64(0.002));
+        let report = run_service_with(
+            &tree,
+            vec![hog, vip],
+            SchedulerConfig {
+                preempt: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        assert!(report.all_terminal());
+        let hog = report.jobs.iter().find(|j| j.name == "hog").unwrap();
+        let vip = report.jobs.iter().find(|j| j.name == "vip").unwrap();
+        assert_eq!(vip.state, JobState::Done);
+        assert_eq!(hog.state, JobState::Done);
+        assert!(hog.preemptions >= 1, "batch hog evicted for the burst");
+        assert_eq!(hog.chunks_done, 16, "evicted job still completes fully");
+        assert!(
+            vip.admitted_at.unwrap() < hog.finished_at.unwrap(),
+            "interactive job admitted before the batch job drained"
+        );
+    }
+
+    #[test]
+    fn real_service_runs_the_full_trace_with_leases_enforced() {
+        let tree = tree();
+        let cfg = TraceConfig {
+            scale: 64,
+            ..TraceConfig::default()
+        };
+        let trace = synthetic_trace(&tree, &cfg);
+        assert_eq!(trace.len(), 32);
+        let run = run_service_real(&tree, trace, AdmissionPolicy::WeightedFair, 4).unwrap();
+        assert!(run.report.all_terminal());
+        assert!(run.report.count(JobState::Done) > 0);
+        // Every job the model says ran chunks executed exactly those
+        // chunks for real, under its installed lease.
+        for out in run.report.jobs.iter().filter(|j| j.chunks_done > 0) {
+            let real = run
+                .jobs
+                .iter()
+                .find(|r| r.id == out.id)
+                .unwrap_or_else(|| panic!("{} missing a real run", out.name));
+            assert_eq!(real.chunks_run, out.chunks_done, "{}", out.name);
+            assert_ne!(real.checksum, 0, "{} streamed real bytes", out.name);
+            assert_eq!(real.tenant, out.tenant);
+        }
+    }
+
+    #[test]
+    fn modeled_and_real_execution_agree_for_any_thread_count() {
+        let tree = tree();
+        let cfg = TraceConfig {
+            jobs: 9,
+            seed: 3,
+            scale: 64,
+            ..TraceConfig::default()
+        };
+        let one = run_service_real(
+            &tree,
+            synthetic_trace(&tree, &cfg),
+            AdmissionPolicy::Fifo,
+            1,
+        )
+        .unwrap();
+        let four = run_service_real(
+            &tree,
+            synthetic_trace(&tree, &cfg),
+            AdmissionPolicy::Fifo,
+            4,
+        )
+        .unwrap();
+        // The modeled schedule is thread-count independent...
+        assert_eq!(one.report.makespan, four.report.makespan);
+        // ...and so is the real execution: same jobs, chunk counts, and
+        // byte-level checksums.
+        assert_eq!(one.jobs.len(), four.jobs.len());
+        for (a, b) in one.jobs.iter().zip(four.jobs.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.chunks_run, b.chunks_run);
+            assert_eq!(a.checksum, b.checksum, "{}", a.name);
+        }
     }
 }

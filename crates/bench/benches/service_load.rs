@@ -40,16 +40,22 @@ fn bench_service(c: &mut Criterion) {
 
     let rows = service_scenario();
     println!("\nService scenario (32 mixed jobs, two-level APU):");
-    println!("  gap(us)   fair(jobs/s)  fifo(jobs/s)  p50(s)   p99(s)   reject");
+    println!(
+        "  gap(us)   fair(jobs/s)  fifo(jobs/s)  p50(s)   p99(s)   reject  \
+         preempts  evict-lat(ms)  resized(jobs/s)"
+    );
     for r in &rows {
         println!(
-            "  {:>7}   {:>11.2}  {:>11.2}  {:>6.3}  {:>6.3}  {:>5.1}%",
+            "  {:>7}   {:>11.2}  {:>11.2}  {:>6.3}  {:>6.3}  {:>5.1}%  {:>8}  {:>13.3}  {:>15.2}",
             r.mean_gap_us,
             r.fair_throughput,
             r.fifo_throughput,
             r.p50_latency_s,
             r.p99_latency_s,
-            r.rejection_rate * 100.0
+            r.rejection_rate * 100.0,
+            r.preemptions,
+            r.preempt_latency_s * 1e3,
+            r.resize_throughput,
         );
     }
     assert!(

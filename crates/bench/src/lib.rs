@@ -22,10 +22,10 @@ use northup_apps::{
     fig11_speedup, hotspot_apu, hotspot_in_memory, matmul_apu, matmul_in_memory, spmv_apu,
     spmv_in_memory, AppRun, HotspotConfig, MatmulConfig, SpmvInput,
 };
-use northup_apps::{run_service, synthetic_trace, TraceConfig};
+use northup_apps::{run_service, run_service_with, synthetic_trace, TraceConfig};
 use northup_hw::{catalog, DeviceSpec};
-use northup_sched::AdmissionPolicy;
-use northup_sim::{Category, SimDur};
+use northup_sched::{AdmissionPolicy, JobScheduler, NodeBudgets, ResizeDrain, SchedulerConfig};
+use northup_sim::{Category, SimDur, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The three evaluated applications.
@@ -490,11 +490,21 @@ pub struct ServiceRow {
     pub p99_latency_s: f64,
     /// Rejected / submitted, weighted-fair (backpressure at high load).
     pub rejection_rate: f64,
+    /// Chunk-boundary evictions with preemption enabled (weighted-fair).
+    pub preemptions: usize,
+    /// Mean eviction-request → eviction-effect delay (s) with preemption
+    /// enabled — how long a victim's in-flight chunk kept its capacity.
+    pub preempt_latency_s: f64,
+    /// Completed jobs per virtual second through a mid-trace budget
+    /// shrink-and-restore (`resize_budgets`, drain = `Preempt`).
+    pub resize_throughput: f64,
 }
 
 /// Sweep offered load for a 32-job mixed trace on the two-level APU:
 /// throughput (jobs/s), p50/p99 virtual-time latency, and rejection rate
-/// vs. the arrival gap, with the strict-FIFO baseline alongside.
+/// vs. the arrival gap, with the strict-FIFO baseline alongside, plus the
+/// preemption-enabled run (eviction count and latency) and a live-resize
+/// run that halves every budget for the middle of the trace.
 pub fn service_scenario() -> Vec<ServiceRow> {
     let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
     [500u64, 2_000, 8_000, 32_000]
@@ -510,6 +520,42 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 AdmissionPolicy::WeightedFair,
             );
             let fifo = run_service(&tree, synthetic_trace(&tree, &cfg), AdmissionPolicy::Fifo);
+            // Preemption and live resize only matter when the staging
+            // level is contended, so those two series run the same mix at
+            // paper scale (scale = 1): hotspot holds ~1/4 of DRAM and
+            // arrivals overlap, so interactive bursts actually evict.
+            let contended = TraceConfig {
+                scale: 1,
+                ..cfg.clone()
+            };
+            let preempt = run_service_with(
+                &tree,
+                synthetic_trace(&tree, &contended),
+                SchedulerConfig {
+                    preempt: true,
+                    ..SchedulerConfig::default()
+                },
+            );
+            // Live reconfiguration: lose half of every memory level for
+            // the middle half of the trace span, evicting as needed.
+            let resized = {
+                let mut sched = JobScheduler::new(
+                    tree.clone(),
+                    SchedulerConfig {
+                        preempt: true,
+                        resize_drain: ResizeDrain::Preempt,
+                        ..SchedulerConfig::default()
+                    },
+                );
+                for spec in synthetic_trace(&tree, &contended) {
+                    sched.submit(spec);
+                }
+                let full = NodeBudgets::from_tree(&tree, 1.0);
+                let span_s = contended.jobs as f64 * gap as f64 * 1e-6;
+                sched.resize_budgets(SimTime::from_secs_f64(span_s * 0.25), full.scaled(0.5));
+                sched.resize_budgets(SimTime::from_secs_f64(span_s * 0.75), full);
+                sched.run()
+            };
             ServiceRow {
                 mean_gap_us: gap,
                 fair_throughput: fair.throughput,
@@ -517,6 +563,9 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 p50_latency_s: fair.p50_latency.as_secs_f64(),
                 p99_latency_s: fair.p99_latency.as_secs_f64(),
                 rejection_rate: fair.rejection_rate,
+                preemptions: preempt.total_preemptions(),
+                preempt_latency_s: preempt.mean_preemption_latency().as_secs_f64(),
+                resize_throughput: resized.throughput,
             }
         })
         .collect()
@@ -664,7 +713,15 @@ mod tests {
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.rejection_rate));
             assert!(r.p99_latency_s >= r.p50_latency_s);
+            assert!(r.resize_throughput > 0.0, "{r:?}");
+            assert!(r.preempt_latency_s >= 0.0);
         }
+        // At the highest offered load the contended trace must actually
+        // exercise chunk-boundary eviction.
+        assert!(
+            rows.iter().any(|r| r.preemptions > 0),
+            "no load point preempted: {rows:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   per-device virtual-time resources with dataflow dependencies (so
 //!   compute/I-O overlap emerges as from the paper's multi-stage queues),
 //!   breakdown profiling (Figs. 7/8), and work-queue statistics.
+//! * [`fabric`] — the stage-chain IR (`ChunkChain`): one representation
+//!   of a chunk's read→link→compute→link→write-back journey shared by the
+//!   modeled co-simulation and real-thread execution backends, with
+//!   checkpoint tokens for chunk-granular preemption.
 //! * [`projection`] — the §V-D first-order faster-storage emulator (Fig. 9).
 //! * [`transform`] — the §VI layout-transforming `move_data` extension.
 //!
@@ -56,6 +60,7 @@ pub mod ctx;
 pub mod dag;
 pub mod data;
 pub mod error;
+pub mod fabric;
 pub mod lease;
 pub mod pipeline;
 pub mod plan;
@@ -70,6 +75,9 @@ pub use ctx::Ctx;
 pub use dag::{DagNode, TaskDag};
 pub use data::BufferHandle;
 pub use error::{NorthupError, Result};
+pub use fabric::{
+    build_chain, ChainStage, Checkpoint, ChunkChain, ChunkWork, Fabric, Stage, StageCost,
+};
 pub use lease::CapacityLease;
 pub use pipeline::ChunkPipeline;
 pub use plan::{plan_blocks, pow2_candidates, BlockPlan, DEFAULT_HEADROOM};

@@ -4,7 +4,7 @@
 //! of the recursive tasks; and this allows for the implementation of load
 //! balancing across different tree branches" (§III-B), and §V-E:
 //! "examining the status of a subsystem can be easily accomplished by
-//! checking the queue that [is] associated with the root of a subtree."
+//! checking the queue that \[is\] associated with the root of a subtree."
 //!
 //! [`WorkQueues`] is that bookkeeping: schedulers enqueue chunk-task tags
 //! against (node, queue) slots, mark them done as the work retires, and

@@ -342,10 +342,15 @@ impl Runtime {
 
     /// Install a capacity lease: subsequent `alloc`s charge the lease on
     /// the buffer's node and `release`s credit it back. Replaces any
-    /// previously installed lease (buffers charged to the old lease still
-    /// credit the old lease's accounting through its shared `Arc`).
-    pub fn install_lease(&self, lease: std::sync::Arc<crate::lease::CapacityLease>) {
-        self.inner.lock().lease = Some(lease);
+    /// previously installed lease and returns it (buffers charged to the
+    /// old lease still credit the old lease's accounting through its
+    /// shared `Arc`) — so a service runtime can swap leases between jobs,
+    /// or restore the previous one after a scoped run.
+    pub fn install_lease(
+        &self,
+        lease: std::sync::Arc<crate::lease::CapacityLease>,
+    ) -> Option<std::sync::Arc<crate::lease::CapacityLease>> {
+        self.inner.lock().lease.replace(lease)
     }
 
     /// Remove the installed capacity lease; allocations become unmetered.

@@ -1,0 +1,152 @@
+//! Chunk-chain execution hooks: cooperative cancellation at chunk
+//! boundaries.
+//!
+//! A stage chain (see `northup::fabric`) is a sequence of chunks executed
+//! in order; each chunk may fan work out across the pool internally, but
+//! chunks themselves never overlap. That boundary is where eviction is
+//! cheap: nothing is in flight, every completed chunk is a checkpoint,
+//! and a preempted chain resumes from its next unprocessed chunk. This
+//! module provides the two pieces a real-execution fabric needs:
+//!
+//! * [`CancelToken`] — a shared flag a scheduler flips to request
+//!   eviction; the chain observes it only *between* chunks, so no chunk
+//!   is ever torn mid-flight.
+//! * [`ThreadPool::run_chain`] — drive chunks `start..chunks` in order,
+//!   honoring the token at every boundary, returning how many chunks
+//!   completed in this run.
+
+use crate::pool::ThreadPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag observed at chunk boundaries.
+///
+/// Cloning the `Arc` shares the flag: the scheduler keeps one end to
+/// request eviction, the running chain polls the other between chunks.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Request cancellation: the chain stops before its next chunk.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+impl ThreadPool {
+    /// Run chunks `start..chunks` of a chain in order on the calling
+    /// thread, checking `token` before each chunk. `chunk(i)` returns
+    /// `true` to continue or `false` to abort the chain (an error path);
+    /// chunk bodies are free to parallelize internally via this pool
+    /// ([`scope`](Self::scope) / [`par_for`](Self::par_for)).
+    ///
+    /// Returns the number of chunks completed *in this run*, so
+    /// `start + completed` is the chain's next checkpoint.
+    pub fn run_chain(
+        &self,
+        start: u32,
+        chunks: u32,
+        token: &CancelToken,
+        mut chunk: impl FnMut(u32) -> bool,
+    ) -> u32 {
+        let mut done = 0;
+        for i in start..chunks {
+            if token.is_cancelled() || !chunk(i) {
+                break;
+            }
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_all_chunks_without_cancellation() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let seen = std::cell::RefCell::new(Vec::new());
+        let done = pool.run_chain(0, 5, &token, |i| {
+            seen.borrow_mut().push(i);
+            true
+        });
+        assert_eq!(done, 5);
+        assert_eq!(seen.into_inner(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancellation_takes_effect_at_the_next_boundary() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let t = Arc::clone(&token);
+        let done = pool.run_chain(0, 10, &token, |i| {
+            if i == 2 {
+                t.cancel(); // mid-chunk request...
+            }
+            true // ...the current chunk still completes
+        });
+        assert_eq!(done, 3, "chunks 0..=2 completed, boundary stopped 3");
+    }
+
+    #[test]
+    fn resume_from_checkpoint_covers_each_chunk_once() {
+        let pool = ThreadPool::new(2);
+        let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let token = CancelToken::new();
+        let t = Arc::clone(&token);
+        let first = pool.run_chain(0, 8, &token, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                t.cancel();
+            }
+            true
+        });
+        // Evicted after `first` chunks; resume from the checkpoint.
+        let token2 = CancelToken::new();
+        let second = pool.run_chain(first, 8, &token2, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        assert_eq!(first + second, 8);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_bodies_may_parallelize_on_the_pool() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::new();
+        let total = AtomicU32::new(0);
+        let done = pool.run_chain(0, 3, &token, |_| {
+            pool.par_for(100, 7, |r| {
+                total.fetch_add(r.len() as u32, Ordering::Relaxed);
+            });
+            true
+        });
+        assert_eq!(done, 3);
+        assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn failing_chunk_aborts_the_chain() {
+        let pool = ThreadPool::new(1);
+        let token = CancelToken::new();
+        let done = pool.run_chain(0, 5, &token, |i| i != 2);
+        assert_eq!(done, 2, "chunks 0 and 1 completed; 2 failed");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's §V-E load balancer lets GPU workgroups steal rows of blocks
 //! from CPU thread queues using "atomics with the platform-scope and acquire
-//! memory ordering ... to implement the lock-free stealing [24]". This is
+//! memory ordering ... to implement the lock-free stealing \[24\]". This is
 //! the same algorithm — the Chase–Lev deque, with the memory orderings from
 //! Lê et al., *Correct and Efficient Work-Stealing for Weak Memory Models*
 //! (PPoPP'13):

@@ -1,15 +1,18 @@
 //! # northup-exec — lock-free work stealing (paper §V-E substrate)
 //!
 //! The paper implements CPU↔GPU load balancing with per-consumer work queues
-//! and lock-free stealing using acquire/release atomics ([24] in the paper,
+//! and lock-free stealing using acquire/release atomics (\[24\] in the paper,
 //! the Chase–Lev deque). This crate provides:
 //!
-//! * [`deque`] — a bounded Chase–Lev deque: one owner pushes/pops at the
+//! * [`deque`](mod@deque) — a bounded Chase–Lev deque: one owner pushes/pops at the
 //!   tail, thieves steal at the head with a CAS, exactly the head/tail
 //!   discipline of the paper's Fig. 10.
 //! * [`pool`] — a work-stealing thread pool built on those deques, used to
 //!   run the reproduction's real kernels in parallel (in-memory baselines
 //!   and Northup leaf computation).
+//! * [`chain`] — chunk-chain execution hooks: [`CancelToken`] and
+//!   [`ThreadPool::run_chain`], the chunk-boundary cancellation
+//!   discipline real-thread fabrics use for chunk-granular preemption.
 //!
 //! The virtual-time *model* of the same stealing protocol (used for the
 //! deterministic Fig. 11 numbers) lives in `northup_sim::workers`; this
@@ -17,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod deque;
 pub mod pool;
 
+pub use chain::CancelToken;
 pub use deque::{deque, Steal, Stealer, Worker};
 pub use pool::{Scope, ThreadPool};

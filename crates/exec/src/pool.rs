@@ -8,7 +8,7 @@
 //! Design: each worker thread owns a [`deque::Worker`]; tasks spawned from a
 //! worker go to its local deque (bottom), idle workers steal from victims'
 //! tops, and external threads submit through a shared injector. A blocked
-//! [`Scope::wait`] helps execute tasks instead of sleeping, so nested scopes
+//! `Scope::wait` helps execute tasks instead of sleeping, so nested scopes
 //! cannot deadlock the pool.
 
 use crate::deque::{self, Steal, Stealer, Worker};

@@ -1,7 +1,7 @@
 //! # northup-kernels — leaf compute kernels + device cost models
 //!
-//! The paper's leaf computation is OpenCL on AMD GPUs: a tiled GEMM [17],
-//! Rodinia's HotSpot-2D [18], and CSR-Adaptive SpMV [20]. This crate
+//! The paper's leaf computation is OpenCL on AMD GPUs: a tiled GEMM \[17\],
+//! Rodinia's HotSpot-2D \[18\], and CSR-Adaptive SpMV \[20\]. This crate
 //! implements all three **for real** (results are verified against naive
 //! references and across decompositions) and pairs them with first-order
 //! **cost models** of the paper's devices so the runtime can charge virtual

@@ -1,7 +1,9 @@
-//! CSR-Adaptive SpMV kernels (paper §IV-C, Greathouse & Daga [20]).
+//! CSR-Adaptive SpMV kernels (paper §IV-C, Greathouse & Daga \[20\]).
 //!
 //! Each binned row block is processed by the kernel its
-//! [`BlockKind`](northup_sparse::BlockKind) selects:
+//! [`BlockKind`] selects:
+//!
+//! [`BlockKind`]: northup_sparse::BlockKind
 //!
 //! * **CSR-Stream** — one workgroup stages the block's entire nnz range in
 //!   local memory, then rows reduce out of it. We reproduce the two-phase

@@ -1,4 +1,5 @@
-//! Shared virtual-time resource fabric for the co-simulation.
+//! The modeled backend of the stage-chain IR: shared virtual-time
+//! resources for the co-simulation.
 //!
 //! One [`SimFabric`] holds a `northup-sim` [`Resource`] per tree node
 //! (storage/memory bandwidth), per tree edge (link bandwidth + latency),
@@ -8,31 +9,19 @@
 //! same construction `northup::Runtime` uses for a single job, lifted to
 //! many.
 //!
-//! A chunk is served **stage by stage**: the scheduler books one
-//! [`Stage`] at its actual virtual ready time and only then learns when
-//! the next stage may start. Booking the whole chain at issue time would
-//! let an early chunk reserve the root storage far into the future
-//! (the `Resource` list scheduler never backfills idle gaps), which
-//! silently serializes concurrent jobs.
+//! The *what* of a chunk — its ordered, costed stages — is the
+//! [`ChunkChain`] IR compiled by [`northup::fabric::build_chain`]; this
+//! module only decides *when* each stage is served. A chunk is served
+//! **stage by stage**: the scheduler books one [`ChainStage`] at its
+//! actual virtual ready time and only then learns when the next stage
+//! may start. Booking the whole chain at issue time would let an early
+//! chunk reserve the root storage far into the future (the [`Resource`]
+//! list scheduler never backfills idle gaps), which silently serializes
+//! concurrent jobs.
 
-use crate::job::JobWork;
-use northup::{NodeId, Tree};
+use northup::fabric::{ChainStage, ChunkChain, Fabric, Stage};
+use northup::{Result, Tree};
 use northup_sim::{Resource, SimTime};
-
-/// One bookable step of a chunk's root→leaf→root journey.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Stage {
-    /// Read `read_bytes` from the root storage.
-    RootRead,
-    /// Stage `xfer_bytes` down the link into the given node.
-    LinkDown(NodeId),
-    /// Run the leaf kernel for `compute`.
-    Compute(NodeId),
-    /// Write `write_bytes` up the link out of the given node.
-    LinkUp(NodeId),
-    /// Write `write_bytes` back to the root storage.
-    RootWrite,
-}
 
 /// Shared contention model: one resource per node, edge, and processor.
 #[derive(Debug)]
@@ -43,9 +32,6 @@ pub struct SimFabric {
     link_res: Vec<Option<Resource>>,
     /// Indexed by `NodeId.0`: the node's first attached processor.
     comp_res: Vec<Option<Resource>>,
-    /// Indexed by `NodeId.0`: path from the root down to this node,
-    /// root excluded (so each entry names the link it is reached over).
-    paths: Vec<Vec<NodeId>>,
 }
 
 impl SimFabric {
@@ -56,7 +42,6 @@ impl SimFabric {
         let mut node_res = Vec::with_capacity(tree.len());
         let mut link_res = Vec::with_capacity(tree.len());
         let mut comp_res = Vec::with_capacity(tree.len());
-        let mut paths = Vec::with_capacity(tree.len());
         for n in tree.nodes() {
             node_res.push(Resource::new(
                 &n.mem.name,
@@ -69,95 +54,56 @@ impl SimFabric {
                     .map(|l| Resource::new(&l.name, l.bandwidth, l.latency)),
             );
             comp_res.push(n.procs.first().map(|p| Resource::new_compute(&p.name)));
-            // Path root -> n, excluding the root itself.
-            let mut path = Vec::new();
-            let mut cur = n.id;
-            while let Some(p) = tree.parent(cur) {
-                path.push(cur);
-                cur = p;
-            }
-            path.reverse();
-            paths.push(path);
         }
         SimFabric {
             node_res,
             link_res,
             comp_res,
-            paths,
         }
-    }
-
-    /// The stages one chunk of `work` passes through when placed on
-    /// `leaf`, with zero-cost stages skipped. Empty when the work shape
-    /// is all-zero.
-    pub fn plan_stages(&self, leaf: NodeId, work: &JobWork) -> Vec<Stage> {
-        let mut stages = Vec::new();
-        if work.read_bytes > 0 {
-            stages.push(Stage::RootRead);
-        }
-        if work.xfer_bytes > 0 {
-            for &hop in &self.paths[leaf.0] {
-                if self.link_res[hop.0].is_some() {
-                    stages.push(Stage::LinkDown(hop));
-                }
-            }
-        }
-        if work.compute > northup_sim::SimDur::ZERO {
-            stages.push(Stage::Compute(leaf));
-        }
-        if work.write_bytes > 0 {
-            for &hop in self.paths[leaf.0].iter().rev() {
-                if self.link_res[hop.0].is_some() {
-                    stages.push(Stage::LinkUp(hop));
-                }
-            }
-            stages.push(Stage::RootWrite);
-        }
-        stages
     }
 
     /// Book one stage starting no earlier than `ready`; returns when it
     /// completes (FIFO-queued behind whatever the resource already
     /// serves).
-    pub fn serve(&mut self, stage: Stage, ready: SimTime, work: &JobWork) -> SimTime {
-        match stage {
-            Stage::RootRead => self.node_res[0].serve_bytes(ready, work.read_bytes).end,
+    pub fn serve(&mut self, stage: &ChainStage, ready: SimTime) -> SimTime {
+        match stage.stage {
+            Stage::Read => self.node_res[0].serve_bytes(ready, stage.cost.bytes).end,
             Stage::LinkDown(hop) => match self.link_res[hop.0].as_mut() {
-                Some(link) => link.serve_bytes(ready, work.xfer_bytes).end,
+                Some(link) => link.serve_bytes(ready, stage.cost.bytes).end,
                 None => ready,
             },
             Stage::Compute(leaf) => match self.comp_res[leaf.0].as_mut() {
-                Some(comp) => comp.serve_for(ready, work.compute).end,
-                None => ready + work.compute,
+                Some(comp) => comp.serve_for(ready, stage.cost.compute).end,
+                None => ready + stage.cost.compute,
             },
             Stage::LinkUp(hop) => match self.link_res[hop.0].as_mut() {
-                Some(link) => link.serve_bytes(ready, work.write_bytes).end,
+                Some(link) => link.serve_bytes(ready, stage.cost.bytes).end,
                 None => ready,
             },
-            Stage::RootWrite => self.node_res[0].serve_bytes(ready, work.write_bytes).end,
+            Stage::WriteBack => self.node_res[0].serve_bytes(ready, stage.cost.bytes).end,
         }
-    }
-
-    /// Serve a whole chunk for a single tenant, stage after stage. Only
-    /// meaningful when no other job interleaves (tests, FIFO baselines);
-    /// the scheduler proper books stage by stage through [`serve`].
-    ///
-    /// [`serve`]: Self::serve
-    pub fn run_chunk(&mut self, leaf: NodeId, ready: SimTime, work: &JobWork) -> SimTime {
-        let mut t = ready;
-        for stage in self.plan_stages(leaf, work) {
-            t = self.serve(stage, t, work);
-        }
-        t
     }
 
     /// Busy horizon of the root storage resource (diagnostics).
     pub fn root_busy_until(&self) -> SimTime {
         self.node_res[0].busy_until()
     }
+}
 
-    /// Reset every resource to idle at time zero.
-    pub fn reset(&mut self) {
+impl Fabric for SimFabric {
+    /// Serve a whole chunk for a single tenant, stage after stage. Only
+    /// meaningful when no other job interleaves (tests, FIFO baselines);
+    /// the scheduler proper books stage by stage through
+    /// [`serve`](SimFabric::serve).
+    fn run_chunk(&mut self, chain: &ChunkChain, _idx: u32, ready: SimTime) -> Result<SimTime> {
+        let mut t = ready;
+        for stage in &chain.stages {
+            t = self.serve(stage, t);
+        }
+        Ok(t)
+    }
+
+    fn reset(&mut self) {
         for r in &mut self.node_res {
             r.reset();
         }
@@ -173,7 +119,9 @@ impl SimFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use northup::presets;
+    use crate::job::JobWork;
+    use northup::fabric::build_chain;
+    use northup::{presets, NodeId};
     use northup_hw::catalog;
     use northup_sim::SimDur;
 
@@ -190,8 +138,9 @@ mod tests {
             .read(64 << 20)
             .xfer(64 << 20)
             .compute(SimDur::from_millis(3));
-        let t1 = fab.run_chunk(leaf, SimTime::ZERO, &work);
-        let t2 = fab.run_chunk(leaf, SimTime::ZERO, &work);
+        let chain = build_chain(&tree, leaf, work.chunk_work(), 1);
+        let t1 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
+        let t2 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
         assert!(t1 > SimTime::ZERO);
         assert!(
             t2 > t1,
@@ -200,24 +149,26 @@ mod tests {
     }
 
     #[test]
-    fn stage_plan_covers_the_path_and_skips_zero_cost() {
+    fn chain_ir_covers_the_path_and_skips_zero_cost() {
         let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
-        let fab = SimFabric::new(&tree);
         let leaf = leaf_of(&tree);
-        let full = fab.plan_stages(
+        let full = build_chain(
+            &tree,
             leaf,
-            &JobWork::new(1)
+            JobWork::new(1)
                 .read(1)
                 .xfer(1)
                 .compute(SimDur::from_micros(1))
-                .write(1),
+                .write(1)
+                .chunk_work(),
+            1,
         );
-        assert_eq!(full.first(), Some(&Stage::RootRead));
-        assert_eq!(full.last(), Some(&Stage::RootWrite));
-        assert!(full.contains(&Stage::Compute(leaf)));
-        let read_only = fab.plan_stages(leaf, &JobWork::new(1).read(1));
-        assert_eq!(read_only, vec![Stage::RootRead]);
-        assert!(fab.plan_stages(leaf, &JobWork::new(1)).is_empty());
+        assert_eq!(full.stages.first().map(|s| s.stage), Some(Stage::Read));
+        assert_eq!(full.stages.last().map(|s| s.stage), Some(Stage::WriteBack));
+        assert!(full.stages.iter().any(|s| s.stage == Stage::Compute(leaf)));
+        let read_only = build_chain(&tree, leaf, JobWork::new(1).read(1).chunk_work(), 1);
+        assert_eq!(read_only.stages.len(), 1);
+        assert!(build_chain(&tree, leaf, JobWork::new(1).chunk_work(), 1).is_empty());
     }
 
     #[test]
@@ -225,10 +176,15 @@ mod tests {
         let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
         let mut fab = SimFabric::new(&tree);
         let leaf = leaf_of(&tree);
-        let work = JobWork::new(1).read(1 << 20).xfer(1 << 20);
-        let t1 = fab.run_chunk(leaf, SimTime::ZERO, &work);
+        let chain = build_chain(
+            &tree,
+            leaf,
+            JobWork::new(1).read(1 << 20).xfer(1 << 20).chunk_work(),
+            1,
+        );
+        let t1 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
         fab.reset();
-        let t2 = fab.run_chunk(leaf, SimTime::ZERO, &work);
+        let t2 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
         assert_eq!(t1, t2, "deterministic replay after reset");
     }
 }

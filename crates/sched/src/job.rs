@@ -15,6 +15,17 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// Tenant identity for multi-tenant quota accounting. Jobs default to
+/// tenant 0; the id is opaque to the scheduler beyond quota bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
 /// Priority class for weighted fair admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Priority {
@@ -43,7 +54,9 @@ impl Priority {
 
 /// Lifecycle: `Queued → Admitted → Running → {Done, Failed}`, with
 /// `Rejected` (backpressure / infeasible reservation) and `Cancelled`
-/// as alternative exits.
+/// as alternative exits. With preemption enabled a `Running` job may be
+/// evicted at a chunk boundary back to `Preempted` (queued again, no
+/// capacity held, progress checkpointed) and later re-admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobState {
     /// Waiting in an admission queue; no capacity held.
@@ -52,6 +65,9 @@ pub enum JobState {
     Admitted,
     /// Chunks in flight on the shared fabric.
     Running,
+    /// Evicted at a chunk boundary; reservation released, waiting to
+    /// resume from its checkpoint (completed chunks are never re-run).
+    Preempted,
     /// Completed all chunks; reservation released.
     Done,
     /// Aborted by the runtime; reservation released.
@@ -126,6 +142,16 @@ impl JobWork {
         self.write_bytes = bytes;
         self
     }
+
+    /// The per-chunk cost in the shared stage-chain IR, ready for
+    /// `northup::fabric::build_chain`.
+    pub fn chunk_work(&self) -> northup::fabric::ChunkWork {
+        northup::fabric::ChunkWork::new()
+            .read(self.read_bytes)
+            .xfer(self.xfer_bytes)
+            .compute(self.compute)
+            .write(self.write_bytes)
+    }
 }
 
 /// Everything the submitter declares about one job.
@@ -133,6 +159,8 @@ impl JobWork {
 pub struct JobSpec {
     /// Name for reports ("gemm-8g", "hotspot-t3").
     pub name: String,
+    /// Owning tenant (for per-tenant quotas; defaults to tenant 0).
+    pub tenant: TenantId,
     /// Admission class.
     pub priority: Priority,
     /// Virtual arrival time (trace replay position).
@@ -152,6 +180,7 @@ impl JobSpec {
     pub fn new(name: impl Into<String>, reservation: Reservation, work: JobWork) -> Self {
         JobSpec {
             name: name.into(),
+            tenant: TenantId::default(),
             priority: Priority::Normal,
             arrival: SimTime::ZERO,
             reservation,
@@ -163,6 +192,12 @@ impl JobSpec {
     /// Set the admission class.
     pub fn priority(mut self, p: Priority) -> Self {
         self.priority = p;
+        self
+    }
+
+    /// Set the owning tenant.
+    pub fn tenant(mut self, t: TenantId) -> Self {
+        self.tenant = t;
         self
     }
 

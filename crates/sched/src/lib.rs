@@ -15,15 +15,24 @@
 //! * [`job`] — [`JobSpec`]/[`JobWork`] (arrival, priority, per-chunk
 //!   fabric demand) and the `Queued → Admitted → Running → Done` /
 //!   `Failed` / `Rejected` / `Cancelled` lifecycle.
-//! * [`fabric`] — [`SimFabric`], the shared virtual-time resources
-//!   (root storage, links, leaf processors) all admitted jobs contend
-//!   on, mirroring `northup::Runtime`'s single-job model.
+//! * [`fabric`] — [`SimFabric`], the *modeled* backend of the shared
+//!   stage-chain IR (`northup::fabric`): virtual-time resources (root
+//!   storage, links, leaf processors) all admitted jobs contend on,
+//!   mirroring `northup::Runtime`'s single-job model.
+//! * [`real`] — [`RealFabric`], the *real* backend: the same chunk
+//!   chains driven through a `Runtime` in `ExecMode::Real` on the
+//!   `northup-exec` work-stealing pool, with staging allocations metered
+//!   by the job's `CapacityLease` and chunk-boundary cancellation via
+//!   `northup_exec::CancelToken`.
 //! * [`scheduler`] — [`JobScheduler`]: weighted fair admission across
 //!   [`Priority`] classes with a starvation guard, strict-FIFO baseline,
-//!   placement by work-queue depth (§V-E subtree-status checks), and a
+//!   placement by work-queue depth (§V-E subtree-status checks),
+//!   chunk-granular preemption with checkpointed resume, live
+//!   [`NodeBudgets`] reconfiguration ([`JobScheduler::resize_budgets`]),
+//!   per-tenant token-bucket quotas ([`TenantQuota`]), and a
 //!   deterministic event-driven co-simulation producing a
 //!   [`SchedReport`] (makespan, throughput, p50/p99 latency, rejection
-//!   rate, and per-node capacity audit trails).
+//!   rate, preemption latencies, and per-node capacity audit trails).
 //!
 //! ## Example
 //!
@@ -51,13 +60,18 @@
 
 pub mod fabric;
 pub mod job;
+pub mod real;
 pub mod reserve;
 pub mod scheduler;
 
 pub use fabric::SimFabric;
-pub use job::{JobId, JobSpec, JobState, JobWork, Priority};
-pub use reserve::{NodeBudgets, Reservation};
+pub use job::{JobId, JobSpec, JobState, JobWork, Priority, TenantId};
+pub use real::RealFabric;
+pub use reserve::{NodeBudgets, Reservation, TenantQuota};
 pub use scheduler::{
     staging_reservation, AdmissionEvent, AdmissionEventKind, AdmissionPolicy, CapacitySample,
-    JobOutcome, JobScheduler, SchedReport, SchedulerConfig,
+    ChunkSample, JobOutcome, JobScheduler, ResizeDrain, ResizeSample, SchedReport, SchedulerConfig,
 };
+// Re-export the shared IR so scheduler users need not depend on
+// `northup` directly for chain types.
+pub use northup::fabric::{build_chain, Checkpoint, ChunkChain, ChunkWork, Fabric};

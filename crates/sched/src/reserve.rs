@@ -97,9 +97,33 @@ impl NodeBudgets {
         }
     }
 
+    /// Budgets from explicit per-node byte counts (index = `NodeId.0`),
+    /// for live reconfiguration scenarios.
+    pub fn from_vec(budget: Vec<u64>) -> Self {
+        NodeBudgets { budget }
+    }
+
     /// Schedulable bytes on `node` (zero for unknown nodes).
     pub fn get(&self, node: NodeId) -> u64 {
         self.budget.get(node.0).copied().unwrap_or(0)
+    }
+
+    /// Scale every node's budget by `factor` (clamped to `[0, 1]`), e.g.
+    /// to model losing half of each memory level to a co-located tenant.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let factor = factor.clamp(0.0, 1.0);
+        NodeBudgets {
+            budget: self
+                .budget
+                .iter()
+                .map(|&b| (b as f64 * factor) as u64)
+                .collect(),
+        }
+    }
+
+    /// The per-node budget vector (index = `NodeId.0`), for logs.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.budget.clone()
     }
 
     /// Whether a reservation can ever be admitted (each entry within the
@@ -114,6 +138,33 @@ impl NodeBudgets {
             let used = committed.get(&n).copied().unwrap_or(0);
             used.saturating_add(b) <= self.get(n)
         })
+    }
+}
+
+/// A per-tenant token-bucket quota in **byte-seconds** of held capacity.
+///
+/// Each tenant's bucket starts full at `burst` and refills at `refill`
+/// byte-seconds per virtual second, capped at `burst`. Admission requires
+/// a non-negative balance; when a job releases its reservation the bucket
+/// is charged `reservation.total() × residence_seconds` (post-paid, so a
+/// single long job can overdraw once — the debt then throttles the
+/// tenant's next admissions until the bucket refills past zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Bucket capacity and starting balance, in byte-seconds.
+    pub burst: f64,
+    /// Refill rate in byte-seconds per second (clamped to ≥ 1.0 so a
+    /// throttled tenant always has a finite wake time).
+    pub refill: f64,
+}
+
+impl TenantQuota {
+    /// A quota with the given burst and refill rate.
+    pub fn new(burst: f64, refill: f64) -> Self {
+        TenantQuota {
+            burst: burst.max(0.0),
+            refill: refill.max(1.0),
+        }
     }
 }
 

@@ -1,30 +1,53 @@
 //! The multi-tenant job scheduler: admission control, weighted fair
-//! queueing, placement, and the deterministic virtual-time co-simulation.
+//! queueing, placement, chunk-granular preemption, live budget
+//! reconfiguration, and the deterministic virtual-time co-simulation.
 //!
 //! [`JobScheduler`] accepts a batch of [`JobSpec`]s (an arrival trace),
 //! then [`JobScheduler::run`] replays it event by event in virtual time:
 //!
 //! 1. **Arrival** — infeasible reservations and queue overflow are
 //!    rejected (backpressure); everything else queues in its priority
-//!    class.
+//!    class. With [`SchedulerConfig::preempt`] enabled, an arrival that
+//!    cannot fit may mark strictly-lower-priority running jobs for
+//!    eviction at their next chunk boundary.
 //! 2. **Admission** — a weighted-fair pass over the class queues commits
 //!    each admitted job's [`Reservation`] against the [`NodeBudgets`];
 //!    the invariant `committed(node) ≤ budget(node)` holds at every
-//!    virtual instant. A starvation guard blocks further bypasses once a
-//!    class head has been overtaken `aging_limit` times.
+//!    virtual instant (for the budgets in force — see resize below). A
+//!    starvation guard blocks further bypasses once a class head has
+//!    been overtaken `aging_limit` times. Per-tenant token-bucket quotas
+//!    ([`SchedulerConfig::tenant_quota`]) throttle tenants that have
+//!    overdrawn their byte-second allowance.
 //! 3. **Execution** — admitted jobs issue sequential chunks on the shared
-//!    [`SimFabric`], so contention on root storage and links is visible
-//!    in completion times. Placement picks the leaf whose subtree has the
-//!    shallowest work queues (the paper's §V-E subtree-status check).
+//!    [`SimFabric`]; each chunk is the compiled stage chain of
+//!    [`northup::fabric::build_chain`], so contention on root storage and
+//!    links is visible in completion times. Placement picks the leaf
+//!    whose subtree has the shallowest work queues (the paper's §V-E
+//!    subtree-status check).
 //! 4. **Release** — at a job's terminal transition its reservation is
-//!    credited back and another admission pass runs.
+//!    credited back and another admission pass runs. A *preempted* job
+//!    releases too, but keeps its [`Checkpoint`]: completed chunks are
+//!    never re-run; the job re-queues at the front of its class and
+//!    resumes from its next unprocessed chunk when capacity returns.
+//! 5. **Resize** — [`JobScheduler::resize_budgets`] swaps the budgets in
+//!    force at a chosen virtual time. [`ResizeDrain::Drain`] lets
+//!    over-committed jobs finish (committed bytes may transiently exceed
+//!    a *shrunk* budget, never grow); [`ResizeDrain::Preempt`] evicts
+//!    running jobs at their chunk boundaries until the commitment fits.
+//!    Queued jobs whose reservation can never fit under the new budgets
+//!    are rejected, preserving terminal totality.
 //!
 //! Everything is keyed on ordered integers (`SimTime`, event kind,
 //! `JobId`), so one trace + one config ⇒ one schedule, bit for bit.
+//! Preemption, quotas, and resizes are all off by default and leave the
+//! schedule untouched when unused.
+//!
+//! [`Checkpoint`]: northup::fabric::Checkpoint
 
-use crate::fabric::{SimFabric, Stage};
-use crate::job::{JobId, JobSpec, JobState, Priority};
-use crate::reserve::{NodeBudgets, Reservation};
+use crate::fabric::SimFabric;
+use crate::job::{JobId, JobSpec, JobState, Priority, TenantId};
+use crate::reserve::{NodeBudgets, Reservation, TenantQuota};
+use northup::fabric::{build_chain, ChunkChain};
 use northup::{NodeId, Tree, WorkQueues};
 use northup_sim::{SimDur, SimTime};
 use std::cmp::Reverse;
@@ -43,6 +66,19 @@ pub enum AdmissionPolicy {
     Fifo,
 }
 
+/// What a budget *shrink* does to jobs already over the new line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeDrain {
+    /// Let over-committed running jobs finish; only new admissions see
+    /// the tighter budgets. Committed bytes may transiently exceed a
+    /// shrunk budget but never grow past the old one.
+    Drain,
+    /// Evict running jobs (lowest priority, most recently admitted
+    /// first) at their next chunk boundary until the commitment fits
+    /// under the new budgets. Evicted jobs resume from their checkpoint.
+    Preempt,
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -59,6 +95,14 @@ pub struct SchedulerConfig {
     pub aging_limit: u32,
     /// Work queues per tree node fed to placement.
     pub queues_per_node: usize,
+    /// Chunk-granular preemption: a queued arrival that does not fit may
+    /// evict strictly-lower-priority running jobs at their next chunk
+    /// boundary. Off by default (schedules are unchanged when off).
+    pub preempt: bool,
+    /// What a live budget shrink does to jobs already over the new line.
+    pub resize_drain: ResizeDrain,
+    /// Per-tenant byte-second admission quota; `None` disables quotas.
+    pub tenant_quota: Option<TenantQuota>,
 }
 
 impl Default for SchedulerConfig {
@@ -69,6 +113,9 @@ impl Default for SchedulerConfig {
             policy: AdmissionPolicy::WeightedFair,
             aging_limit: 8,
             queues_per_node: 1,
+            preempt: false,
+            resize_drain: ResizeDrain::Drain,
+            tenant_quota: None,
         }
     }
 }
@@ -80,7 +127,8 @@ pub struct AdmissionEvent {
     pub at: SimTime,
     /// The job whose reservation moved.
     pub job: JobId,
-    /// Committed (admission) or credited back (terminal transition).
+    /// Committed (admission) or credited back (terminal transition or
+    /// eviction).
     pub kind: AdmissionEventKind,
 }
 
@@ -89,8 +137,11 @@ pub struct AdmissionEvent {
 pub enum AdmissionEventKind {
     /// The job's reservation was committed against the budgets.
     Admitted,
-    /// The job's reservation was credited back.
+    /// The job's reservation was credited back at a terminal transition.
     Released,
+    /// The job was evicted at a chunk boundary; its reservation was
+    /// credited back and it re-queued with its checkpoint.
+    Preempted,
 }
 
 /// Committed bytes on one node right after an admission-log transition —
@@ -105,6 +156,27 @@ pub struct CapacitySample {
     pub committed: u64,
 }
 
+/// One completed chunk: the raw series behind the "every chunk executes
+/// exactly once across evictions" acceptance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSample {
+    /// Virtual completion time of the chunk.
+    pub at: SimTime,
+    /// The job the chunk belongs to.
+    pub job: JobId,
+    /// Chunk index within the job (0-based).
+    pub index: u32,
+}
+
+/// One applied budget reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResizeSample {
+    /// Virtual time the new budgets took effect.
+    pub at: SimTime,
+    /// The per-node budgets now in force (index = `NodeId.0`).
+    pub budgets: Vec<u64>,
+}
+
 /// Final per-job record in the [`SchedReport`].
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
@@ -112,20 +184,27 @@ pub struct JobOutcome {
     pub id: JobId,
     /// Submitter-chosen name.
     pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
     /// Admission class.
     pub priority: Priority,
     /// Terminal state (always terminal after `run`).
     pub state: JobState,
     /// Arrival time from the trace.
     pub arrival: SimTime,
-    /// When the reservation was committed, if ever.
+    /// When the reservation was (last) committed, if ever.
     pub admitted_at: Option<SimTime>,
     /// When the job reached its terminal state.
     pub finished_at: Option<SimTime>,
-    /// Leaf the job was placed on, if admitted.
+    /// Leaf the job was (last) placed on, if admitted.
     pub leaf: Option<NodeId>,
     /// The reservation the job declared (and held while admitted).
     pub reservation: Reservation,
+    /// Chunks the job completed (equals the spec's chunk count for
+    /// `Done` jobs, a strict prefix otherwise).
+    pub chunks_done: u32,
+    /// How many times the job was evicted and later resumed.
+    pub preemptions: u32,
 }
 
 impl JobOutcome {
@@ -162,14 +241,22 @@ pub struct SchedReport {
     pub p99_latency: SimDur,
     /// Rejected jobs / submitted jobs.
     pub rejection_rate: f64,
-    /// Jobs in the order their reservations were committed.
+    /// Jobs in the order their reservations were committed (re-admissions
+    /// after eviction appear again).
     pub admission_order: Vec<JobId>,
-    /// Every commit/release transition.
+    /// Every commit/release/evict transition.
     pub admission_log: Vec<AdmissionEvent>,
     /// Committed bytes per touched node after every transition.
     pub capacity_trace: Vec<CapacitySample>,
     /// Peak committed bytes ever observed per node.
     pub max_committed: BTreeMap<NodeId, u64>,
+    /// Every completed chunk, in completion order.
+    pub chunk_log: Vec<ChunkSample>,
+    /// Every applied budget reconfiguration, in effect order.
+    pub resize_log: Vec<ResizeSample>,
+    /// Eviction-request → eviction-effect delay of every preemption (how
+    /// long the victim's in-flight chunk kept the capacity occupied).
+    pub preemption_latencies: Vec<SimDur>,
 }
 
 impl SchedReport {
@@ -188,11 +275,30 @@ impl SchedReport {
         self.jobs.iter().all(|j| j.state.is_terminal())
     }
 
+    /// Total evictions across all jobs.
+    pub fn total_preemptions(&self) -> usize {
+        self.jobs.iter().map(|j| j.preemptions as usize).sum()
+    }
+
+    /// Mean eviction-request → eviction-effect delay (zero when nothing
+    /// was preempted).
+    pub fn mean_preemption_latency(&self) -> SimDur {
+        if self.preemption_latencies.is_empty() {
+            return SimDur::ZERO;
+        }
+        let total: f64 = self
+            .preemption_latencies
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        SimDur::from_secs_f64(total / self.preemption_latencies.len() as f64)
+    }
+
     /// One-line human summary for drivers and examples.
     pub fn summary(&self) -> String {
         format!(
             "{} jobs: {} done, {} rejected, {} cancelled | makespan {:.3} s | \
-             {:.2} jobs/s | p50 {:.3} s | p99 {:.3} s | reject {:.1}%",
+             {:.2} jobs/s | p50 {:.3} s | p99 {:.3} s | reject {:.1}% | {} preemptions",
             self.jobs.len(),
             self.count(JobState::Done),
             self.count(JobState::Rejected),
@@ -202,16 +308,19 @@ impl SchedReport {
             self.p50_latency.as_secs_f64(),
             self.p99_latency.as_secs_f64(),
             self.rejection_rate * 100.0,
+            self.total_preemptions(),
         )
     }
 }
 
 /// Event kinds, in processing order at equal virtual time: completions
-/// free capacity before cancellations take effect, and both before new
-/// arrivals are considered.
+/// free capacity first; cancellations and budget/quota changes take
+/// effect before new arrivals are considered.
 const EV_STAGE_DONE: u8 = 0;
 const EV_CANCEL: u8 = 1;
-const EV_ARRIVAL: u8 = 2;
+const EV_RESIZE: u8 = 2;
+const EV_QUOTA: u8 = 3;
+const EV_ARRIVAL: u8 = 4;
 
 #[derive(Debug)]
 struct JobRec {
@@ -221,10 +330,19 @@ struct JobRec {
     finished_at: Option<SimTime>,
     leaf: Option<NodeId>,
     task: Option<northup::TaskId>,
-    stages: Vec<Stage>,
+    chain: Option<ChunkChain>,
     stage_idx: usize,
     chunks_done: u32,
     cancel_requested: bool,
+    /// Marked for eviction by a higher-priority arrival; revalidated at
+    /// the chunk boundary (the need may have passed).
+    preempt_requested: bool,
+    /// Marked for eviction by a budget shrink; unconditional at the
+    /// boundary.
+    evict_for_resize: bool,
+    /// When the eviction was requested (for the latency report).
+    preempt_requested_at: Option<SimTime>,
+    preemptions: u32,
 }
 
 /// The multi-tenant scheduler. Submit jobs, then [`run`](Self::run) the
@@ -234,6 +352,7 @@ pub struct JobScheduler {
     tree: Tree,
     cfg: SchedulerConfig,
     budgets: NodeBudgets,
+    pending_resizes: Vec<(SimTime, NodeBudgets)>,
     jobs: Vec<JobRec>,
 }
 
@@ -246,11 +365,12 @@ impl JobScheduler {
             tree,
             cfg,
             budgets,
+            pending_resizes: Vec::new(),
             jobs: Vec::new(),
         }
     }
 
-    /// The admission budgets in force.
+    /// The admission budgets in force (before `run`, the initial ones).
     pub fn budgets(&self) -> &NodeBudgets {
         &self.budgets
     }
@@ -266,10 +386,14 @@ impl JobScheduler {
             finished_at: None,
             leaf: None,
             task: None,
-            stages: Vec::new(),
+            chain: None,
             stage_idx: 0,
             chunks_done: 0,
             cancel_requested: false,
+            preempt_requested: false,
+            evict_for_resize: false,
+            preempt_requested_at: None,
+            preemptions: 0,
         });
         id
     }
@@ -280,6 +404,15 @@ impl JobScheduler {
         if let Some(rec) = self.jobs.get_mut(id.0 as usize) {
             rec.spec.cancel_at = Some(at);
         }
+    }
+
+    /// Schedule a live budget reconfiguration: at virtual time `at` the
+    /// given budgets replace the ones in force. Shrinks follow
+    /// [`SchedulerConfig::resize_drain`]; growths simply admit more.
+    /// Queued jobs whose reservation can never fit under the new budgets
+    /// are rejected when the resize lands.
+    pub fn resize_budgets(&mut self, at: SimTime, budgets: NodeBudgets) {
+        self.pending_resizes.push((at, budgets));
     }
 
     /// Replay the submitted trace in virtual time and consume the
@@ -296,13 +429,17 @@ impl JobScheduler {
                 st.events.push(Reverse((t, EV_CANCEL, id, 0)));
             }
         }
+        for (i, (at, _)) in self.pending_resizes.iter().enumerate() {
+            st.events.push(Reverse((*at, EV_RESIZE, i as u64, 0)));
+        }
 
         while let Some(Reverse((t, kind, id, _))) = st.events.pop() {
-            let id = JobId(id);
             match kind {
-                EV_STAGE_DONE => self.on_stage_done(&mut st, id, t),
-                EV_CANCEL => self.on_cancel(&mut st, id, t),
-                EV_ARRIVAL => self.on_arrival(&mut st, id, t),
+                EV_STAGE_DONE => self.on_stage_done(&mut st, JobId(id), t),
+                EV_CANCEL => self.on_cancel(&mut st, JobId(id), t),
+                EV_RESIZE => self.on_resize(&mut st, id as usize, t),
+                EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t),
+                EV_ARRIVAL => self.on_arrival(&mut st, JobId(id), t),
                 _ => unreachable!("unknown event kind"),
             }
         }
@@ -330,12 +467,15 @@ impl JobScheduler {
         st.class_queues[class].push_back(id);
         st.fifo_queue.push_back(id);
         self.admit_pass(st, t);
+        if self.cfg.preempt && self.jobs[id.0 as usize].state == JobState::Queued {
+            self.try_preempt(st, id, t);
+        }
     }
 
     fn on_cancel(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
         let rec = &mut self.jobs[id.0 as usize];
         match rec.state {
-            JobState::Queued => {
+            JobState::Queued | JobState::Preempted => {
                 for q in st.class_queues.iter_mut() {
                     q.retain(|&j| j != id);
                 }
@@ -350,23 +490,79 @@ impl JobScheduler {
         }
     }
 
+    /// A budget reconfiguration takes effect.
+    fn on_resize(&mut self, st: &mut RunState, idx: usize, t: SimTime) {
+        self.budgets = self.pending_resizes[idx].1.clone();
+        st.resize_log.push(ResizeSample {
+            at: t,
+            budgets: self.budgets.snapshot(),
+        });
+        // Queued (or evicted-and-waiting) jobs whose reservation can never
+        // fit again are rejected now, so the trace still totals out.
+        let waiting: Vec<JobId> = st.fifo_queue.iter().copied().collect();
+        for id in waiting {
+            if !self
+                .budgets
+                .feasible(&self.jobs[id.0 as usize].spec.reservation)
+            {
+                for q in st.class_queues.iter_mut() {
+                    q.retain(|&j| j != id);
+                }
+                st.fifo_queue.retain(|&j| j != id);
+                let rec = &mut self.jobs[id.0 as usize];
+                rec.state = JobState::Rejected;
+                rec.finished_at = Some(t);
+            }
+        }
+        if self.cfg.resize_drain == ResizeDrain::Preempt {
+            self.mark_for_resize(st, t);
+        }
+        self.admit_pass(st, t); // a growth may admit immediately
+    }
+
+    /// A throttled tenant's bucket has refilled past zero: retry admission.
+    fn on_quota(&mut self, st: &mut RunState, tenant: TenantId, t: SimTime) {
+        st.quota_wake.remove(&tenant);
+        self.admit_pass(st, t);
+    }
+
     /// A stage of the current chunk finished: book the next stage at its
-    /// actual ready time, or close the chunk and open the next one.
+    /// actual ready time, or close the chunk and decide at the boundary —
+    /// cancel > done > resize-evict > preempt > next chunk.
     fn on_stage_done(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
         let rec = &mut self.jobs[id.0 as usize];
         rec.stage_idx += 1;
-        if rec.stage_idx < rec.stages.len() {
-            let stage = rec.stages[rec.stage_idx];
-            let end = st.fabric.serve(stage, t, &rec.spec.work);
+        let chain = rec.chain.as_ref().expect("running job has a chain");
+        if rec.stage_idx < chain.stages.len() {
+            let stage = chain.stages[rec.stage_idx];
+            let end = st.fabric.serve(&stage, t);
             st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
             return;
         }
         rec.chunks_done += 1;
         rec.stage_idx = 0;
+        st.chunk_log.push(ChunkSample {
+            at: t,
+            job: id,
+            index: rec.chunks_done - 1,
+        });
         if rec.cancel_requested {
             self.finish(st, id, JobState::Cancelled, t);
         } else if rec.chunks_done >= rec.spec.work.chunks {
             self.finish(st, id, JobState::Done, t);
+        } else if rec.evict_for_resize {
+            self.evict(st, id, t);
+        } else if rec.preempt_requested {
+            if self.eviction_still_needed(st, id) {
+                self.evict(st, id, t);
+            } else {
+                // The pressure passed (e.g. another release already made
+                // room); keep running.
+                let rec = &mut self.jobs[id.0 as usize];
+                rec.preempt_requested = false;
+                rec.preempt_requested_at = None;
+                self.issue_chunk(st, id, t);
+            }
         } else {
             self.issue_chunk(st, id, t);
         }
@@ -379,8 +575,16 @@ impl JobScheduler {
     fn issue_chunk(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
         let rec = &mut self.jobs[id.0 as usize];
         rec.state = JobState::Running;
-        if rec.stages.is_empty() {
+        let chain = rec.chain.as_ref().expect("issued job has a chain");
+        if chain.is_empty() {
             // All-zero work shape: every chunk completes instantly.
+            for i in rec.chunks_done..rec.spec.work.chunks {
+                st.chunk_log.push(ChunkSample {
+                    at: t,
+                    job: id,
+                    index: i,
+                });
+            }
             rec.chunks_done = rec.spec.work.chunks;
             let end_state = if rec.cancel_requested {
                 JobState::Cancelled
@@ -390,14 +594,16 @@ impl JobScheduler {
             self.finish(st, id, end_state, t);
             return;
         }
-        let end = st.fabric.serve(rec.stages[0], t, &rec.spec.work);
+        let first = chain.stages[0];
+        let end = st.fabric.serve(&first, t);
         st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
     }
 
-    /// Commit the reservation, place the job, and start its first chunk.
+    /// Commit the reservation, place the job, and start its next chunk
+    /// (the first for fresh admissions, the checkpoint for resumed ones).
     fn admit(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
         let rec = &mut self.jobs[id.0 as usize];
-        debug_assert_eq!(rec.state, JobState::Queued);
+        debug_assert!(matches!(rec.state, JobState::Queued | JobState::Preempted));
         for (n, b) in rec.spec.reservation.iter() {
             let e = st.committed.entry(n).or_insert(0);
             *e += b;
@@ -420,22 +626,24 @@ impl JobScheduler {
         st.active += 1;
 
         let name = rec.spec.name.clone();
-        let zero_chunks = rec.spec.work.chunks == 0;
+        let done = rec.chunks_done >= rec.spec.work.chunks || rec.spec.work.chunks == 0;
 
         // Placement: the leaf whose subtree (child-of-root anchor) has the
         // shallowest work queues; ties break toward the lowest leaf id.
+        // A resumed job is re-placed — only its checkpoint survives
+        // eviction, not its slot.
         let leaf = self.place(st);
         let queue = st.wq.shortest_queue(leaf);
         let task = st.wq.enqueue(leaf, queue, name);
-        let stages = st
-            .fabric
-            .plan_stages(leaf, &self.jobs[id.0 as usize].spec.work);
+        let spec = &self.jobs[id.0 as usize].spec;
+        let chain = build_chain(&self.tree, leaf, spec.work.chunk_work(), spec.work.chunks);
         let rec = &mut self.jobs[id.0 as usize];
         rec.leaf = Some(leaf);
         rec.task = Some(task);
-        rec.stages = stages;
+        rec.chain = Some(chain);
+        rec.stage_idx = 0;
 
-        if zero_chunks {
+        if done {
             self.finish(st, id, JobState::Done, t);
         } else {
             self.issue_chunk(st, id, t);
@@ -458,9 +666,23 @@ impl JobScheduler {
         best.expect("tree has at least one leaf").1
     }
 
-    fn finish(&mut self, st: &mut RunState, id: JobId, state: JobState, t: SimTime) {
+    /// Credit the reservation back and sample the capacity trace (shared
+    /// by terminal release and eviction).
+    fn release_capacity(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let (tenant, held, since) = {
+            let rec = &self.jobs[id.0 as usize];
+            (
+                rec.spec.tenant,
+                rec.spec.reservation.total(),
+                rec.admitted_at,
+            )
+        };
+        if let Some(since) = since {
+            // Post-paid quota: byte-seconds of held capacity this residency.
+            let byte_secs = held as f64 * (t - since).as_secs_f64();
+            self.quota_charge(st, tenant, byte_secs, t);
+        }
         let rec = &mut self.jobs[id.0 as usize];
-        debug_assert!(state.is_terminal());
         for (n, b) in rec.spec.reservation.iter() {
             let e = st.committed.entry(n).or_insert(0);
             *e = e.saturating_sub(b);
@@ -470,6 +692,12 @@ impl JobScheduler {
                 committed: *e,
             });
         }
+    }
+
+    fn finish(&mut self, st: &mut RunState, id: JobId, state: JobState, t: SimTime) {
+        debug_assert!(state.is_terminal());
+        self.release_capacity(st, id, t);
+        let rec = &mut self.jobs[id.0 as usize];
         rec.state = state;
         rec.finished_at = Some(t);
         if let (Some(leaf), Some(task)) = (rec.leaf, rec.task.take()) {
@@ -484,6 +712,248 @@ impl JobScheduler {
         self.admit_pass(st, t);
     }
 
+    /// Evict a running job at its chunk boundary: release the
+    /// reservation, keep the checkpoint, and re-queue it at the front of
+    /// its class so it resumes as soon as capacity returns.
+    fn evict(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        self.release_capacity(st, id, t);
+        let rec = &mut self.jobs[id.0 as usize];
+        if let Some(at) = rec.preempt_requested_at.take() {
+            st.preemption_latencies.push(t - at);
+        }
+        rec.preempt_requested = false;
+        rec.evict_for_resize = false;
+        rec.state = JobState::Preempted;
+        rec.preemptions += 1;
+        rec.stage_idx = 0;
+        if let (Some(leaf), Some(task)) = (rec.leaf, rec.task.take()) {
+            st.wq.complete(leaf, task);
+        }
+        rec.leaf = None;
+        rec.chain = None;
+        st.admission_log.push(AdmissionEvent {
+            at: t,
+            job: id,
+            kind: AdmissionEventKind::Preempted,
+        });
+        st.active -= 1;
+        if self
+            .budgets
+            .feasible(&self.jobs[id.0 as usize].spec.reservation)
+        {
+            // Front of the class: the victim has seniority and resumes as
+            // soon as capacity returns.
+            let class = class_index(self.jobs[id.0 as usize].spec.priority);
+            st.class_queues[class].push_front(id);
+            st.fifo_queue.push_front(id);
+        } else {
+            // Evicted by a shrink below its own reservation: it can never
+            // be re-admitted, so reject rather than queue forever.
+            let rec = &mut self.jobs[id.0 as usize];
+            rec.state = JobState::Rejected;
+            rec.finished_at = Some(t);
+        }
+        self.admit_pass(st, t);
+    }
+
+    /// Revalidation at the boundary: is some strictly-higher-priority
+    /// queued job still blocked on capacity? If not, the pressure that
+    /// marked this victim has passed and the eviction is cancelled.
+    fn eviction_still_needed(&self, st: &RunState, victim: JobId) -> bool {
+        let vw = self.jobs[victim.0 as usize].spec.priority.weight();
+        st.fifo_queue.iter().any(|&q| {
+            let r = &self.jobs[q.0 as usize];
+            r.spec.priority.weight() > vw && !self.budgets.fits(&st.committed, &r.spec.reservation)
+        })
+    }
+
+    /// A queued arrival that does not fit marks strictly-lower-priority
+    /// running jobs (lowest priority first, most recently admitted first)
+    /// for eviction at their next chunk boundary, until the projected
+    /// released capacity makes room. If even evicting every candidate
+    /// would not make room, nothing is marked.
+    fn try_preempt(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+        let (res, my_w) = {
+            let r = &self.jobs[id.0 as usize];
+            (r.spec.reservation.clone(), r.spec.priority.weight())
+        };
+        let mut eff = st.committed.clone();
+        for rec in &self.jobs {
+            if (rec.preempt_requested || rec.evict_for_resize)
+                && matches!(rec.state, JobState::Admitted | JobState::Running)
+            {
+                for (n, b) in rec.spec.reservation.iter() {
+                    let e = eff.entry(n).or_insert(0);
+                    *e = e.saturating_sub(b);
+                }
+            }
+        }
+        if self.budgets.fits(&eff, &res) {
+            return; // pending evictions already make room
+        }
+        let mut cands: Vec<JobId> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                matches!(r.state, JobState::Admitted | JobState::Running)
+                    && r.spec.priority.weight() < my_w
+                    && !r.preempt_requested
+                    && !r.evict_for_resize
+                    && !r.cancel_requested
+            })
+            .map(|(i, _)| JobId(i as u64))
+            .collect();
+        cands.sort_by_key(|&j| {
+            let r = &self.jobs[j.0 as usize];
+            (r.spec.priority.weight(), Reverse(r.admitted_at), Reverse(j))
+        });
+        let mut marked = Vec::new();
+        for v in cands {
+            {
+                let r = &mut self.jobs[v.0 as usize];
+                r.preempt_requested = true;
+                r.preempt_requested_at = Some(t);
+            }
+            marked.push(v);
+            for (n, b) in self.jobs[v.0 as usize].spec.reservation.iter() {
+                let e = eff.entry(n).or_insert(0);
+                *e = e.saturating_sub(b);
+            }
+            if self.budgets.fits(&eff, &res) {
+                return;
+            }
+        }
+        // Insufficient even after marking everything eligible: undo, the
+        // job must wait for same-or-higher-priority releases anyway.
+        for v in marked {
+            let r = &mut self.jobs[v.0 as usize];
+            r.preempt_requested = false;
+            r.preempt_requested_at = None;
+        }
+    }
+
+    /// After a shrink with [`ResizeDrain::Preempt`]: mark running jobs
+    /// (lowest priority first, most recently admitted first) whose
+    /// reservation touches an over-budget node, until the projected
+    /// commitment fits everywhere.
+    fn mark_for_resize(&mut self, st: &mut RunState, t: SimTime) {
+        let mut eff = st.committed.clone();
+        for rec in &self.jobs {
+            if (rec.preempt_requested || rec.evict_for_resize)
+                && matches!(rec.state, JobState::Admitted | JobState::Running)
+            {
+                for (n, b) in rec.spec.reservation.iter() {
+                    let e = eff.entry(n).or_insert(0);
+                    *e = e.saturating_sub(b);
+                }
+            }
+        }
+        let over = |eff: &BTreeMap<NodeId, u64>, budgets: &NodeBudgets| -> bool {
+            eff.iter().any(|(&n, &c)| c > budgets.get(n))
+        };
+        if !over(&eff, &self.budgets) {
+            return;
+        }
+        let mut cands: Vec<JobId> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                matches!(r.state, JobState::Admitted | JobState::Running)
+                    && !r.preempt_requested
+                    && !r.evict_for_resize
+                    && !r.cancel_requested
+            })
+            .map(|(i, _)| JobId(i as u64))
+            .collect();
+        cands.sort_by_key(|&j| {
+            let r = &self.jobs[j.0 as usize];
+            (r.spec.priority.weight(), Reverse(r.admitted_at), Reverse(j))
+        });
+        for v in cands {
+            if !over(&eff, &self.budgets) {
+                break;
+            }
+            let helps = self.jobs[v.0 as usize]
+                .spec
+                .reservation
+                .iter()
+                .any(|(n, _)| eff.get(&n).copied().unwrap_or(0) > self.budgets.get(n));
+            if !helps {
+                continue;
+            }
+            {
+                let r = &mut self.jobs[v.0 as usize];
+                r.evict_for_resize = true;
+                r.preempt_requested_at = Some(t);
+            }
+            for (n, b) in self.jobs[v.0 as usize].spec.reservation.iter() {
+                let e = eff.entry(n).or_insert(0);
+                *e = e.saturating_sub(b);
+            }
+        }
+    }
+
+    // ---- per-tenant token-bucket quotas ------------------------------
+
+    /// Refresh and return the tenant's byte-second balance at `t`.
+    fn quota_balance(&self, st: &mut RunState, tenant: TenantId, t: SimTime) -> f64 {
+        let Some(q) = self.cfg.tenant_quota else {
+            return 0.0;
+        };
+        let qs = st.quota.entry(tenant).or_insert(QuotaState {
+            tokens: q.burst,
+            last: SimTime::ZERO,
+        });
+        let dt = (t - qs.last).as_secs_f64();
+        qs.tokens = (qs.tokens + dt * q.refill).min(q.burst);
+        qs.last = t;
+        qs.tokens
+    }
+
+    /// Whether the tenant's balance permits an admission right now.
+    fn quota_ok(&self, st: &mut RunState, tenant: TenantId, t: SimTime) -> bool {
+        self.cfg.tenant_quota.is_none() || self.quota_balance(st, tenant, t) >= 0.0
+    }
+
+    /// Deduct `byte_secs` from the tenant's bucket (post-paid: the
+    /// balance may go negative, throttling future admissions).
+    fn quota_charge(&self, st: &mut RunState, tenant: TenantId, byte_secs: f64, t: SimTime) {
+        if self.cfg.tenant_quota.is_none() {
+            return;
+        }
+        self.quota_balance(st, tenant, t);
+        if let Some(qs) = st.quota.get_mut(&tenant) {
+            qs.tokens -= byte_secs;
+        }
+    }
+
+    /// Schedule (deduplicated) the virtual time at which a throttled
+    /// tenant's balance refills past zero, so admission retries exactly
+    /// then instead of busy-polling.
+    fn schedule_quota_wake(&self, st: &mut RunState, tenant: TenantId, t: SimTime) {
+        let Some(q) = self.cfg.tenant_quota else {
+            return;
+        };
+        let bal = self.quota_balance(st, tenant, t);
+        if bal >= 0.0 {
+            return;
+        }
+        // `refill` is clamped ≥ 1 byte-sec/s, so the wait is finite; the
+        // floor keeps rounding from producing a same-instant event loop.
+        let wait = SimDur::from_secs_f64(-bal / q.refill).max(SimDur::from_micros(1));
+        let wake = t + wait;
+        match st.quota_wake.get(&tenant) {
+            Some(&pending) if pending <= wake => {}
+            _ => {
+                st.quota_wake.insert(tenant, wake);
+                st.events
+                    .push(Reverse((wake, EV_QUOTA, tenant.0 as u64, 0)));
+            }
+        }
+    }
+
     /// One admission pass at virtual time `t`: admit every queued job the
     /// policy allows until nothing more fits.
     fn admit_pass(&mut self, st: &mut RunState, t: SimTime) {
@@ -494,6 +964,11 @@ impl JobScheduler {
                     let Some(&id) = st.fifo_queue.front() else {
                         break;
                     };
+                    let tenant = self.jobs[id.0 as usize].spec.tenant;
+                    if !self.quota_ok(st, tenant, t) {
+                        self.schedule_quota_wake(st, tenant, t);
+                        break;
+                    }
                     st.fifo_queue.pop_front();
                     for q in st.class_queues.iter_mut() {
                         q.retain(|&j| j != id);
@@ -533,6 +1008,11 @@ impl JobScheduler {
                         .budgets
                         .fits(&st.committed, &self.jobs[id.0 as usize].spec.reservation)
                     {
+                        let tenant = self.jobs[id.0 as usize].spec.tenant;
+                        if !self.quota_ok(st, tenant, t) {
+                            self.schedule_quota_wake(st, tenant, t);
+                            return; // throttled; retry at the wake
+                        }
                         st.class_queues[b].pop_front();
                         st.fifo_queue.retain(|&j| j != id);
                         st.credits[b] = 0;
@@ -548,27 +1028,33 @@ impl JobScheduler {
             let mut admitted = false;
             for (rank, &c) in order.iter().enumerate() {
                 let id = st.class_queues[c][0];
-                if self
+                if !self
                     .budgets
                     .fits(&st.committed, &self.jobs[id.0 as usize].spec.reservation)
                 {
-                    if rank > 0 {
-                        // Overtook the head of every higher-credit class.
-                        for &hc in &order[..rank] {
-                            st.starve[hc] += 1;
-                            if st.starve[hc] >= self.cfg.aging_limit {
-                                st.blocked_class = Some(hc);
-                            }
+                    continue;
+                }
+                let tenant = self.jobs[id.0 as usize].spec.tenant;
+                if !self.quota_ok(st, tenant, t) {
+                    self.schedule_quota_wake(st, tenant, t);
+                    continue; // the class is throttled, not blocked
+                }
+                if rank > 0 {
+                    // Overtook the head of every higher-credit class.
+                    for &hc in &order[..rank] {
+                        st.starve[hc] += 1;
+                        if st.starve[hc] >= self.cfg.aging_limit {
+                            st.blocked_class = Some(hc);
                         }
                     }
-                    st.class_queues[c].pop_front();
-                    st.fifo_queue.retain(|&j| j != id);
-                    st.credits[c] = 0;
-                    st.starve[c] = 0;
-                    self.admit(st, id, t);
-                    admitted = true;
-                    break;
                 }
+                st.class_queues[c].pop_front();
+                st.fifo_queue.retain(|&j| j != id);
+                st.credits[c] = 0;
+                st.starve[c] = 0;
+                self.admit(st, id, t);
+                admitted = true;
+                break;
             }
             if !admitted {
                 return;
@@ -584,6 +1070,7 @@ impl JobScheduler {
             .map(|(i, rec)| JobOutcome {
                 id: JobId(i as u64),
                 name: rec.spec.name,
+                tenant: rec.spec.tenant,
                 priority: rec.spec.priority,
                 state: rec.state,
                 arrival: rec.spec.arrival,
@@ -591,6 +1078,8 @@ impl JobScheduler {
                 finished_at: rec.finished_at,
                 leaf: rec.leaf,
                 reservation: rec.spec.reservation,
+                chunks_done: rec.chunks_done,
+                preemptions: rec.preemptions,
             })
             .collect();
 
@@ -633,9 +1122,19 @@ impl JobScheduler {
             admission_log: st.admission_log,
             capacity_trace: st.capacity_trace,
             max_committed: st.max_committed,
+            chunk_log: st.chunk_log,
+            resize_log: st.resize_log,
+            preemption_latencies: st.preemption_latencies,
             jobs,
         }
     }
+}
+
+/// Per-tenant token-bucket state (lazy refill).
+#[derive(Debug, Clone, Copy)]
+struct QuotaState {
+    tokens: f64,
+    last: SimTime,
 }
 
 /// Per-run mutable state, kept out of `JobScheduler` so `run` borrows
@@ -653,6 +1152,11 @@ struct RunState {
     capacity_trace: Vec<CapacitySample>,
     admission_order: Vec<JobId>,
     admission_log: Vec<AdmissionEvent>,
+    chunk_log: Vec<ChunkSample>,
+    resize_log: Vec<ResizeSample>,
+    preemption_latencies: Vec<SimDur>,
+    quota: BTreeMap<TenantId, QuotaState>,
+    quota_wake: BTreeMap<TenantId, SimTime>,
     active: usize,
     fabric: SimFabric,
     wq: WorkQueues,
@@ -672,6 +1176,11 @@ impl RunState {
             capacity_trace: Vec::new(),
             admission_order: Vec::new(),
             admission_log: Vec::new(),
+            chunk_log: Vec::new(),
+            resize_log: Vec::new(),
+            preemption_latencies: Vec::new(),
+            quota: BTreeMap::new(),
+            quota_wake: BTreeMap::new(),
             active: 0,
             fabric: SimFabric::new(tree),
             wq: WorkQueues::new(tree, cfg.queues_per_node.max(1)),
@@ -891,5 +1400,182 @@ mod tests {
         assert_eq!(r1.admission_order, r2.admission_order);
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.capacity_trace, r2.capacity_trace);
+        assert_eq!(r1.chunk_log, r2.chunk_log);
+    }
+
+    #[test]
+    fn interactive_arrival_evicts_batch_at_a_chunk_boundary() {
+        let tree = tree();
+        let mut sched = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                preempt: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let hog = sched.submit(small_job("batch-hog", &tree, 0.9, 16).priority(Priority::Batch));
+        let vip = sched.submit(
+            small_job("vip", &tree, 0.9, 2)
+                .priority(Priority::Interactive)
+                .arrival(SimTime::from_secs_f64(0.01)),
+        );
+        let report = sched.run();
+        // The interactive job ran *before* the batch hog drained...
+        let vip_admit = report.job(vip).admitted_at.unwrap();
+        let hog_finish = report.job(hog).finished_at.unwrap();
+        assert!(
+            vip_admit < hog_finish,
+            "vip admitted at {vip_admit:?} must precede hog finish {hog_finish:?}"
+        );
+        assert_eq!(report.job(vip).state, JobState::Done);
+        // ...and the evicted batch job still completed every chunk,
+        // exactly once.
+        assert_eq!(report.job(hog).state, JobState::Done);
+        assert!(report.job(hog).preemptions >= 1);
+        assert_eq!(report.job(hog).chunks_done, 16);
+        let mut hog_chunks: Vec<u32> = report
+            .chunk_log
+            .iter()
+            .filter(|c| c.job == hog)
+            .map(|c| c.index)
+            .collect();
+        hog_chunks.sort_unstable();
+        assert_eq!(hog_chunks, (0..16).collect::<Vec<_>>());
+        assert!(!report.preemption_latencies.is_empty());
+        assert!(report.all_terminal());
+    }
+
+    #[test]
+    fn preemption_off_leaves_the_schedule_untouched() {
+        let tree = tree();
+        let build = |preempt| {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    preempt,
+                    ..SchedulerConfig::default()
+                },
+            );
+            // Everything co-fits: preemption never triggers, so the flag
+            // must not change the schedule.
+            for i in 0..6 {
+                s.submit(
+                    small_job(&format!("j{i}"), &tree, 0.2, 3)
+                        .priority(Priority::ALL[i % 3])
+                        .arrival(SimTime::from_secs_f64(0.001 * i as f64)),
+                );
+            }
+            s.run()
+        };
+        let off = build(false);
+        let on = build(true);
+        assert_eq!(off.admission_order, on.admission_order);
+        assert_eq!(off.makespan, on.makespan);
+        assert_eq!(off.capacity_trace, on.capacity_trace);
+        assert_eq!(on.total_preemptions(), 0);
+    }
+
+    #[test]
+    fn budget_shrink_with_drain_tightens_new_admissions_only() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+        let full = NodeBudgets::from_tree(&tree, 1.0);
+        let a = sched.submit(small_job("a", &tree, 0.8, 8));
+        // Arrives after the shrink: 0.8 of DRAM no longer feasible.
+        let b = sched.submit(small_job("b", &tree, 0.8, 2).arrival(SimTime::from_secs_f64(0.2)));
+        sched.resize_budgets(SimTime::from_secs_f64(0.01), full.scaled(0.5));
+        let report = sched.run();
+        assert_eq!(report.job(a).state, JobState::Done, "drain lets a finish");
+        assert_eq!(
+            report.job(b).state,
+            JobState::Rejected,
+            "b infeasible under the shrunk budget"
+        );
+        assert_eq!(report.resize_log.len(), 1);
+        assert!(report.resize_log[0].budgets[dram.0] < full.get(dram));
+        assert!(report.all_terminal());
+    }
+
+    #[test]
+    fn budget_shrink_with_preempt_evicts_until_it_fits() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        let mut sched = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                resize_drain: ResizeDrain::Preempt,
+                ..SchedulerConfig::default()
+            },
+        );
+        let full = NodeBudgets::from_tree(&tree, 1.0);
+        let a = sched.submit(small_job("a", &tree, 0.4, 12));
+        let shrink_at = SimTime::from_secs_f64(0.05);
+        sched.resize_budgets(shrink_at, full.scaled(0.25));
+        let report = sched.run();
+        // a (0.4 of DRAM) exceeds the 0.25 budget: evicted at a boundary,
+        // then rejected on re-admission (its reservation is infeasible) —
+        // unless it was already infeasible-queued at resize time.
+        assert!(report.all_terminal());
+        let a_out = report.job(a);
+        assert!(a_out.preemptions >= 1, "must be evicted by the shrink");
+        assert_eq!(a_out.state, JobState::Rejected);
+        // After the eviction, committed bytes on DRAM fit the new budget.
+        let new_budget = report.resize_log[0].budgets[dram.0];
+        let after_shrink: Vec<_> = report
+            .capacity_trace
+            .iter()
+            .filter(|s| s.node == dram && s.at > shrink_at)
+            .collect();
+        assert!(!after_shrink.is_empty());
+        assert!(after_shrink.iter().all(|s| s.committed <= new_budget));
+    }
+
+    #[test]
+    fn tenant_quota_throttles_heavy_tenant() {
+        let tree = tree();
+        let dram = tree.children(tree.root())[0];
+        // Two jobs that cannot co-fit: q2 normally starts the instant q1
+        // releases. The post-paid charge at q1's release overdraws the
+        // small bucket, so with a quota q2 must additionally wait for the
+        // refill.
+        let bytes = (tree.node(dram).mem.capacity as f64 * 0.6) as u64;
+        let build = |quota| {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    tenant_quota: quota,
+                    ..SchedulerConfig::default()
+                },
+            );
+            let t0 = TenantId(7);
+            let mk = |name: &str| {
+                JobSpec::new(
+                    name,
+                    Reservation::new().with(dram, bytes),
+                    JobWork::new(4)
+                        .read(32 << 20)
+                        .xfer(32 << 20)
+                        .compute(SimDur::from_millis(2)),
+                )
+                .tenant(t0)
+            };
+            s.submit(mk("q1"));
+            s.submit(mk("q2"));
+            s.run()
+        };
+        let free = build(None);
+        let quota = build(Some(TenantQuota::new(
+            bytes as f64 * 0.01,
+            bytes as f64 * 0.1,
+        )));
+        assert!(free.all_terminal() && quota.all_terminal());
+        assert_eq!(quota.count(JobState::Done), 2);
+        assert!(
+            quota.makespan > free.makespan,
+            "throttled tenant ({:?}) must finish later than unthrottled ({:?})",
+            quota.makespan,
+            free.makespan
+        );
     }
 }

@@ -77,7 +77,7 @@ impl StealOutcome {
 /// per worker (`queues.len()` must equal `workers.len()`).
 ///
 /// Local pops take the queue tail; steals take a victim's head, matching the
-/// lock-free deque discipline in the paper ([24]) and in
+/// lock-free deque discipline in the paper (\[24\]) and in
 /// `northup-exec`'s Chase-Lev implementation. The victim chosen is the one
 /// with the most remaining tasks (ties broken by lowest index) — a
 /// "steal-from-richest" heuristic that keeps the simulation deterministic.

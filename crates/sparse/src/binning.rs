@@ -1,4 +1,4 @@
-//! CSR-Adaptive row binning (Greathouse & Daga, SC'14 — the paper's [20]).
+//! CSR-Adaptive row binning (Greathouse & Daga, SC'14 — the paper's \[20\]).
 //!
 //! CSR-Adaptive "dynamically chooses kernels based on the shapes of sparse
 //! matrices" (paper §IV-C). The CPU-side preprocessing walks `row_ptr` and

@@ -182,8 +182,8 @@ impl Csr {
 
     /// Extract rows `[start, end)` as a standalone CSR with rebased
     /// `row_ptr` — this is the paper's "sub-shard" extraction: "the portion
-    /// of data constituting a sub-shard is determined with row_ptr[start]
-    /// and row_ptr[end]" (§IV-C).
+    /// of data constituting a sub-shard is determined with row_ptr\[start\]
+    /// and row_ptr\[end\]" (§IV-C).
     pub fn slice_rows(&self, start: usize, end: usize) -> Csr {
         assert!(
             start <= end && end <= self.rows,

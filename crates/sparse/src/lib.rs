@@ -13,7 +13,7 @@
 //!   16M-row SpMV shape for timing-only runs.
 //! * [`shard`] — even-row and nnz-budgeted shard partitioning (§IV-C).
 //! * [`binning`] — CSR-Adaptive's CPU-side row binning into
-//!   Stream / Vector / VectorL blocks (the paper's [20]).
+//!   Stream / Vector / VectorL blocks (the paper's \[20\]).
 //! * [`ell`] — the ELLPACK alternative layout for the §VI data-layout
 //!   study (regular accesses vs padding traffic).
 

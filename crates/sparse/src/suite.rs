@@ -1,5 +1,5 @@
 //! A named synthetic matrix suite standing in for the Florida (SuiteSparse)
-//! collection the paper's SpMV inputs come from (§V-A, reference [23]).
+//! collection the paper's SpMV inputs come from (§V-A, reference \[23\]).
 //!
 //! Each entry mimics the structural class of a well-known collection member
 //! at a laptop-friendly scale; the [`crate::gen`] generators scale the same
