@@ -1,0 +1,90 @@
+//! Diagnostics: findings and the report they aggregate into.
+
+/// Rule identifiers, used both in diagnostics and in
+/// `// analyze:allow(<rule>)` suppressions.
+pub mod rules {
+    /// R1: nondeterministic time/rng sources in modeled-path crates.
+    pub const DETERMINISM_SOURCES: &str = "determinism-sources";
+    /// R2: unordered `HashMap`/`HashSet` in schedule-affecting crates.
+    pub const ORDERED_ITERATION: &str = "ordered-iteration";
+    /// R3: allocation/lease acquisition without a reachable release.
+    pub const LEASE_DISCIPLINE: &str = "lease-discipline";
+    /// R4: `unwrap()`/`expect(`/`panic!` in non-test runtime code.
+    pub const PANIC_PATHS: &str = "panic-paths";
+    /// R5: cycles in the static lock-acquisition graph.
+    pub const LOCK_ORDER: &str = "lock-order";
+    /// Meta-rule: a suppression comment with an empty justification.
+    pub const SUPPRESSION: &str = "suppression";
+
+    /// Every rule a suppression may name.
+    pub const ALL: [&str; 5] = [
+        DETERMINISM_SOURCES,
+        ORDERED_ITERATION,
+        LEASE_DISCIPLINE,
+        PANIC_PATHS,
+        LOCK_ORDER,
+    ];
+}
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (one of [`rules`]).
+    pub rule: &'static str,
+    /// Workspace-relative path (`crates/core/src/runtime.rs`).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation with the steer-to alternative.
+    pub message: String,
+    /// True when an `analyze:allow` with a non-empty justification covers
+    /// this finding; suppressed findings are reported but do not fail.
+    pub suppressed: bool,
+    /// The justification text of the covering suppression, if any.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the terminal rendering.
+    pub fn render(&self) -> String {
+        let tag = if self.suppressed { " (suppressed)" } else { "" };
+        format!(
+            "{}:{}: [{}]{} {}",
+            self.path, self.line, self.rule, tag, self.message
+        )
+    }
+}
+
+/// The aggregate result of analyzing a set of sources.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, suppressed ones included, ordered by (path, line).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run (everything not suppressed).
+    pub fn failing(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// True when the tree is analyze-clean.
+    pub fn is_clean(&self) -> bool {
+        self.failing().next().is_none()
+    }
+
+    /// Count of failing findings for a given rule.
+    pub fn failing_for(&self, rule: &str) -> usize {
+        self.failing().filter(|f| f.rule == rule).count()
+    }
+
+    /// Sort findings into the stable (path, line, rule) order every
+    /// consumer (terminal, JSON, tests) sees.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+    }
+}

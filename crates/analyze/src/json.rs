@@ -1,0 +1,94 @@
+//! Minimal hand-rolled JSON emitter — the crate is dependency-free, so
+//! no serde (not even the workspace shim, which the analyzer audits).
+
+use crate::diag::{rules, Report};
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as a JSON document.
+pub fn report_to_json(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"files_scanned\": ");
+    s.push_str(&r.files_scanned.to_string());
+    s.push_str(",\n  \"failing\": ");
+    s.push_str(&r.failing().count().to_string());
+    s.push_str(",\n  \"by_rule\": {");
+    let mut first = true;
+    for rule in rules::ALL.iter().chain([rules::SUPPRESSION].iter()) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!("\n    \"{}\": {}", rule, r.failing_for(rule)));
+    }
+    s.push_str("\n  },\n  \"findings\": [");
+    let mut first = true;
+    for f in &r.findings {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"suppressed\": {}, \
+             \"message\": \"{}\"",
+            f.rule,
+            escape(&f.path),
+            f.line,
+            f.suppressed,
+            escape(&f.message)
+        ));
+        if let Some(j) = &f.justification {
+            s.push_str(&format!(", \"justification\": \"{}\"", escape(j)));
+        }
+        s.push('}');
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Finding;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_shape() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            rule: rules::PANIC_PATHS,
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            message: "msg".into(),
+            suppressed: false,
+            justification: None,
+        });
+        let j = report_to_json(&r);
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"failing\": 1"));
+        assert!(j.contains("\"panic-paths\": 1"));
+        assert!(j.contains("\"line\": 3"));
+    }
+}

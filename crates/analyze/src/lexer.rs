@@ -1,0 +1,349 @@
+//! A lightweight Rust lexer: just enough tokenization to audit source
+//! text without parsing it.
+//!
+//! The analyzer's rules operate on identifier/punctuation streams with
+//! comments and string/char literals isolated into their own tokens, so a
+//! `HashMap` inside a doc comment or a `"panic!"` inside a string never
+//! produces a finding, while `// analyze:allow(...)` suppressions remain
+//! visible as [`TokKind::Comment`] tokens.
+
+/// Token categories the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `#`, ...).
+    Punct,
+    /// Numeric literal.
+    Num,
+    /// String literal (including raw and byte strings).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Line or block comment, doc comments included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Category.
+    pub kind: TokKind,
+    /// Raw text (for `Punct` a single character; for comments the full
+    /// comment including its delimiters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated literals or comments are
+/// tolerated (the rest of the file becomes one token) — the analyzer must
+/// never panic on weird input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let count_lines = |chars: &[char]| chars.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested, like Rust's).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings r"..." / r#"..."# (and br variants), checked before
+        // plain identifiers so the prefix is not lexed as an ident.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let start = i;
+            let start_line = line;
+            // Skip the b/r prefix.
+            while i < n && (b[i] == 'b' || b[i] == 'r') {
+                i += 1;
+            }
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if i + 1 + k >= n || b[i + 1 + k] != '#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        i += 1 + hashes;
+                        break;
+                    }
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Plain (or byte) string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            let end = i.min(n);
+            line = start_line + count_lines(&b[start..end]);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: b[start..end].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // 'a' — a char literal after all.
+                } else {
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            let start = i;
+            i += 1;
+            if i < n && b[i] == '\\' {
+                i += 2;
+            } else if i < n {
+                i += 1;
+            }
+            if i < n && b[i] == '\'' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: b[start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal (digits plus the usual suffix/infix characters).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.')
+                && !(b[i] == '.' && i + 1 < n && b[i + 1] == '.')
+            {
+                // Stop a float at `1..` range syntax.
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Anything else: single punctuation char.
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Does `b[i..]` start a raw (possibly byte) string literal?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    // Accept r, br, rb prefixes (rb is invalid Rust but harmless here).
+    let mut saw_r = false;
+    while j < n && (b[j] == 'r' || b[j] == 'b') {
+        saw_r |= b[j] == 'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    j < n && b[j] == '"' && {
+        // Ensure the prefix is not part of a longer identifier (`error"`).
+        i == 0 || !(b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn main() { x.lock(); }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "main", "x", "lock"]);
+    }
+
+    #[test]
+    fn comments_and_strings_are_isolated() {
+        let toks = lex("let s = \"HashMap\"; // HashMap here\n/* HashMap */ let h = 1;");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = lex(r####"let a = r#"panic!("x")"#; let b = "\"panic!\"";"####);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'c' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'c'"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("r#\"unterminated");
+    }
+}

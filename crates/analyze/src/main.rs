@@ -1,0 +1,106 @@
+//! CLI: `cargo run -p northup-analyze -- --workspace [--json out.json]`.
+//!
+//! Exit codes: 0 — analyze-clean; 1 — failing findings; 2 — usage or
+//! I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use northup_analyze::{analyze_sources, analyze_workspace, json, Report};
+
+const USAGE: &str = "\
+northup-analyze — offline static analysis for the Northup workspace
+
+USAGE:
+    northup-analyze --workspace [--root DIR] [--json FILE] [--quiet]
+    northup-analyze [--json FILE] FILE.rs...
+
+OPTIONS:
+    --workspace     analyze every first-party crate under --root (default: cwd)
+    --root DIR      workspace root for --workspace and for relativizing paths
+    --json FILE     also write the machine-readable report to FILE
+    --quiet         print only the summary line, not per-finding lines
+    -h, --help      show this help
+
+Suppress a finding with a justified directive on the same or previous line:
+    // analyze:allow(<rule>): <why this is sound>
+Rules: determinism-sources, ordered-iteration, lease-discipline,
+       panic-paths, lock-order.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("northup-analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" => quiet = true,
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--json" => json_out = Some(PathBuf::from(args.next().ok_or("--json needs a value")?)),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            p if !p.starts_with('-') => paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        return Err(format!("nothing to analyze\n\n{USAGE}"));
+    }
+
+    let report: Report = if workspace {
+        analyze_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            let text =
+                fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push((rel, text));
+        }
+        analyze_sources(&files)
+    };
+
+    if let Some(out) = json_out {
+        fs::write(&out, json::report_to_json(&report))
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    }
+
+    if !quiet {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+    }
+    let failing = report.failing().count();
+    let suppressed = report.findings.len() - failing;
+    println!(
+        "northup-analyze: {} file(s), {} failing finding(s), {} suppressed",
+        report.files_scanned, failing, suppressed
+    );
+    Ok(if failing == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,309 @@
+//! Rules R1–R4: per-file token-pattern rules.
+//!
+//! R5 (lock-order) is cross-file and lives in [`crate::lockgraph`].
+
+use crate::diag::{rules, Finding};
+use crate::source::SourceFile;
+
+/// The workspace crate a logical path belongs to
+/// (`crates/core/src/runtime.rs` → `core`). `None` for anything outside
+/// `crates/` (root `src/`, `examples/`, ...), which no rule scopes over.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// Run R1–R4 over one file, appending raw (unsuppressed) findings.
+pub fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let Some(krate) = crate_of(&sf.path) else {
+        return;
+    };
+    r1_determinism_sources(sf, krate, out);
+    r2_ordered_iteration(sf, krate, out);
+    r3_lease_discipline(sf, krate, out);
+    r4_panic_paths(sf, krate, out);
+}
+
+/// R1: `Instant` / `SystemTime` / `thread_rng` are wall-clock or
+/// OS-entropy sources; modeled-path crates must stay bit-deterministic.
+/// `sim/src/time.rs` (the virtual clock) and `sched/src/real.rs` (the
+/// real backend) are the sanctioned exceptions.
+fn r1_determinism_sources(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
+    if !matches!(krate, "core" | "sim" | "sched") {
+        return;
+    }
+    if sf.path == "crates/sim/src/time.rs" || sf.path == "crates/sched/src/real.rs" {
+        return;
+    }
+    for ci in 0..sf.code.len() {
+        if sf.in_test[ci] {
+            continue;
+        }
+        let t = &sf.toks[sf.code[ci]];
+        let bad = ["Instant", "SystemTime", "thread_rng"]
+            .iter()
+            .find(|s| t.is_ident(s));
+        if let Some(name) = bad {
+            out.push(Finding {
+                rule: rules::DETERMINISM_SOURCES,
+                path: sf.path.clone(),
+                line: t.line,
+                message: format!(
+                    "nondeterministic source `{name}` in modeled-path crate `{krate}`; \
+                     use SimTime/SimDur (virtual clock) or a seeded StdRng"
+                ),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}
+
+/// R2: `HashMap`/`HashSet` iteration order varies run-to-run (and with
+/// the hasher); in schedule-affecting crates that order leaks into
+/// schedules, so ordered containers are required.
+fn r2_ordered_iteration(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
+    if !matches!(krate, "core" | "sched" | "sim") {
+        return;
+    }
+    for ci in 0..sf.code.len() {
+        if sf.in_test[ci] {
+            continue;
+        }
+        let t = &sf.toks[sf.code[ci]];
+        let bad = ["HashMap", "HashSet"].iter().find(|s| t.is_ident(s));
+        if let Some(name) = bad {
+            out.push(Finding {
+                rule: rules::ORDERED_ITERATION,
+                path: sf.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{name}` in schedule-affecting crate `{krate}`: iteration order is \
+                     unordered and leaks into schedules; use BTreeMap/BTreeSet or sort \
+                     before iterating"
+                ),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}
+
+/// R3: a function that acquires a buffer/lease (`alloc`/`alloc_on_child`
+/// call) must either release it in the same item (`release`/`free`/
+/// `drop` reachable in the body) or visibly transfer ownership out
+/// (return type mentioning a handle, or a constructor returning `Self`).
+fn r3_lease_discipline(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
+    if !matches!(krate, "core" | "sched" | "apps") {
+        return;
+    }
+    for f in &sf.fns {
+        if f.is_test {
+            continue;
+        }
+        // Ownership visibly escapes through the signature.
+        if ["BufferHandle", "Handle", "Self"]
+            .iter()
+            .any(|s| f.ret.contains(s))
+        {
+            continue;
+        }
+        let mut acquire: Option<(u32, String)> = None;
+        let mut releases = false;
+        for ci in (f.body_start + 1)..f.body_end {
+            // Skip nested fn bodies: they are separate items.
+            if sf
+                .fns
+                .iter()
+                .any(|g| g.sig_start > f.sig_start && g.contains(ci) && g.body_start < ci)
+            {
+                continue;
+            }
+            let t = &sf.toks[sf.code[ci]];
+            if sf.ct(ci + 1).is_some_and(|n| n.is_punct('(')) {
+                if t.is_ident("alloc") || t.is_ident("alloc_on_child") {
+                    acquire.get_or_insert((t.line, t.text.clone()));
+                }
+                if t.is_ident("release") || t.is_ident("free") || t.is_ident("drop") {
+                    releases = true;
+                }
+            }
+        }
+        if let Some((line, what)) = acquire {
+            if !releases {
+                out.push(Finding {
+                    rule: rules::LEASE_DISCIPLINE,
+                    path: sf.path.clone(),
+                    line,
+                    message: format!(
+                        "fn `{}` calls `{what}(..)` but no release/free/drop is reachable \
+                         in the same item and the handle does not escape via the return \
+                         type; leaked leases exhaust capacity budgets",
+                        f.name
+                    ),
+                    suppressed: false,
+                    justification: None,
+                });
+            }
+        }
+    }
+}
+
+/// R4: `unwrap()` / `expect(..)` / `panic!` in non-test runtime code of
+/// the execution crates turn recoverable conditions into aborts that
+/// take down co-scheduled tenants.
+fn r4_panic_paths(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
+    if !matches!(krate, "core" | "exec" | "sched") {
+        return;
+    }
+    for ci in 0..sf.code.len() {
+        if sf.in_test[ci] {
+            continue;
+        }
+        let t = &sf.toks[sf.code[ci]];
+        // `.unwrap(` / `.expect(`
+        let method_call = ci > 0
+            && sf.ct(ci - 1).is_some_and(|p| p.is_punct('.'))
+            && sf.ct(ci + 1).is_some_and(|n| n.is_punct('('));
+        let found = if method_call && t.is_ident("unwrap") {
+            Some("unwrap()")
+        } else if method_call && t.is_ident("expect") {
+            Some("expect(..)")
+        } else if t.is_ident("panic") && sf.ct(ci + 1).is_some_and(|n| n.is_punct('!')) {
+            Some("panic!")
+        } else {
+            None
+        };
+        if let Some(what) = found {
+            out.push(Finding {
+                rule: rules::PANIC_PATHS,
+                path: sf.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{what}` in non-test runtime code of crate `{krate}`; return a typed \
+                     error (NorthupError/SchedError/FabricError) instead"
+                ),
+                suppressed: false,
+                justification: None,
+            });
+        }
+    }
+}
+
+/// Apply this file's `analyze:allow` directives to `findings` (which
+/// must all belong to `sf`), marking covered ones suppressed, and emit
+/// meta-findings for empty justifications.
+pub fn apply_allows(sf: &SourceFile, findings: &mut [Finding], out_meta: &mut Vec<Finding>) {
+    for a in &sf.allows {
+        if a.justification.is_empty() {
+            out_meta.push(Finding {
+                rule: rules::SUPPRESSION,
+                path: sf.path.clone(),
+                line: a.line,
+                message: format!(
+                    "analyze:allow({}) has an empty justification; write why the \
+                     violation is sound, e.g. `// analyze:allow({}): <reason>`",
+                    a.rule, a.rule
+                ),
+                suppressed: false,
+                justification: None,
+            });
+            continue;
+        }
+        if !rules::ALL.contains(&a.rule.as_str()) {
+            out_meta.push(Finding {
+                rule: rules::SUPPRESSION,
+                path: sf.path.clone(),
+                line: a.line,
+                message: format!(
+                    "analyze:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    rules::ALL.join(", ")
+                ),
+                suppressed: false,
+                justification: None,
+            });
+            continue;
+        }
+        for f in findings.iter_mut() {
+            if f.rule == a.rule && (f.line == a.line || f.line == a.line + 1) {
+                f.suppressed = true;
+                f.justification = Some(a.justification.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let sf = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check_file(&sf, &mut out);
+        let mut meta = Vec::new();
+        apply_allows(&sf, &mut out, &mut meta);
+        out.extend(meta);
+        out
+    }
+
+    #[test]
+    fn scoping_by_crate() {
+        // `Instant` in apps is out of R1 scope.
+        assert!(run("crates/apps/src/x.rs", "use std::time::Instant;").is_empty());
+        let f = run("crates/core/src/x.rs", "use std::time::Instant;");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rules::DETERMINISM_SOURCES);
+    }
+
+    #[test]
+    fn exception_files_are_exempt() {
+        assert!(run("crates/sim/src/time.rs", "use std::time::Instant;").is_empty());
+        assert!(run("crates/sched/src/real.rs", "use std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(run("crates/core/src/x.rs", "fn f() { x.unwrap_or(0); }").is_empty());
+        assert_eq!(
+            run("crates/core/src/x.rs", "fn f() { x.unwrap(); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let same = "fn f() { x.unwrap(); } // analyze:allow(panic-paths): init-only path";
+        let f = run("crates/core/src/x.rs", same);
+        assert!(f[0].suppressed);
+        let prev = "// analyze:allow(panic-paths): init-only path\nfn f() { x.unwrap(); }";
+        let f = run("crates/core/src/x.rs", prev);
+        assert!(f[0].suppressed);
+    }
+
+    #[test]
+    fn empty_justification_is_a_finding() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "// analyze:allow(panic-paths)\nfn f() { x.unwrap(); }",
+        );
+        assert!(f.iter().any(|x| x.rule == rules::SUPPRESSION));
+    }
+
+    #[test]
+    fn r3_escape_hatches() {
+        // Release in the same fn: clean.
+        let clean = "fn f(ctx: &Ctx) { let h = ctx.alloc(n, 8).ok(); ctx.release(h); }";
+        assert!(run("crates/core/src/x.rs", clean).is_empty());
+        // Handle escapes via return type: clean.
+        let escape = "fn f(ctx: &Ctx) -> Result<BufferHandle> { ctx.alloc(n, 8) }";
+        assert!(run("crates/core/src/x.rs", escape).is_empty());
+        // Neither: finding.
+        let leak = "fn f(ctx: &Ctx) { let _h = ctx.alloc(n, 8); }";
+        let f = run("crates/core/src/x.rs", leak);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rules::LEASE_DISCIPLINE);
+    }
+}

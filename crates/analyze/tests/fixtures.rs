@@ -1,0 +1,278 @@
+//! Per-rule fixture tests: every rule has a true-positive fixture, a
+//! clean fixture, and a suppressed-with-justification fixture, exercised
+//! through the public [`northup_analyze::analyze_sources`] entry point
+//! exactly as the CLI does.
+
+use northup_analyze::analyze_sources;
+use northup_analyze::diag::rules;
+
+fn one(path: &str, src: &str) -> northup_analyze::Report {
+    analyze_sources(&[(path.to_string(), src.to_string())])
+}
+
+fn failing_count(r: &northup_analyze::Report, rule: &str) -> usize {
+    r.failing().filter(|f| f.rule == rule).count()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn determinism_true_positive() {
+    let r = one(
+        "crates/core/src/clock.rs",
+        "use std::time::Instant;\nfn now() { let t = Instant::now(); }\n",
+    );
+    assert!(failing_count(&r, rules::DETERMINISM_SOURCES) >= 1);
+}
+
+#[test]
+fn determinism_clean_and_exemptions() {
+    // Virtual time in core is fine.
+    let r = one(
+        "crates/core/src/clock.rs",
+        "use northup_sim::SimTime;\nfn now(t: SimTime) -> SimTime { t }\n",
+    );
+    assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0);
+    // The two carve-outs: sim's own clock module and sched's real backend.
+    for path in ["crates/sim/src/time.rs", "crates/sched/src/real.rs"] {
+        let r = one(
+            path,
+            "use std::time::Instant;\nfn t() { Instant::now(); }\n",
+        );
+        assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0, "{path}");
+    }
+    // Outside the scoped crates the rule does not apply at all.
+    let r = one(
+        "crates/bench/src/wall.rs",
+        "use std::time::Instant;\nfn t() { Instant::now(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0);
+}
+
+#[test]
+fn determinism_suppressed_with_justification() {
+    let r = one(
+        "crates/sim/src/warmup.rs",
+        "// analyze:allow(determinism-sources): wall-clock used only for a log banner\n\
+         fn t() { std::time::Instant::now(); }\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn ordered_iteration_true_positive() {
+    let r = one(
+        "crates/sched/src/table.rs",
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+    );
+    assert!(failing_count(&r, rules::ORDERED_ITERATION) >= 1);
+}
+
+#[test]
+fn ordered_iteration_clean() {
+    let r = one(
+        "crates/sched/src/table.rs",
+        "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::ORDERED_ITERATION), 0);
+    // HashSet in test code is out of scope.
+    let r = one(
+        "crates/core/src/x.rs",
+        "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    #[test]\n    fn t() { let _s: HashSet<u8> = HashSet::new(); }\n}\n",
+    );
+    assert_eq!(failing_count(&r, rules::ORDERED_ITERATION), 0);
+}
+
+#[test]
+fn ordered_iteration_suppressed_with_justification() {
+    let r = one(
+        "crates/core/src/cache.rs",
+        "// analyze:allow(ordered-iteration): cache is never iterated, only probed by key\n\
+         use std::collections::HashMap;\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn lease_true_positive() {
+    let r = one(
+        "crates/apps/src/leak.rs",
+        "fn leak(rt: &Runtime) {\n    let b = rt.alloc(1024, root).unwrap();\n    let _ = b;\n}\n",
+    );
+    assert!(failing_count(&r, rules::LEASE_DISCIPLINE) >= 1);
+}
+
+#[test]
+fn lease_clean_release_and_escape() {
+    // Released in the same item: clean.
+    let r = one(
+        "crates/apps/src/ok.rs",
+        "fn ok(rt: &Runtime) {\n    let b = rt.alloc(1024, root).unwrap();\n    rt.release(b).unwrap();\n}\n",
+    );
+    assert_eq!(failing_count(&r, rules::LEASE_DISCIPLINE), 0);
+    // Handle escapes via the return type: caller owns it, clean.
+    let r = one(
+        "crates/apps/src/escape.rs",
+        "fn escape(rt: &Runtime) -> Result<BufferHandle> {\n    rt.alloc(1024, root)\n}\n",
+    );
+    assert_eq!(failing_count(&r, rules::LEASE_DISCIPLINE), 0);
+}
+
+#[test]
+fn lease_suppressed_with_justification() {
+    let r = one(
+        "crates/apps/src/pinned.rs",
+        "fn pinned(rt: &Runtime) {\n    // analyze:allow(lease-discipline): buffer lives for the whole run; Runtime drop reclaims it\n    let b = rt.alloc(1024, root).unwrap();\n    let _ = b;\n}\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn panic_paths_true_positive() {
+    let r = one(
+        "crates/core/src/hot.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 1);
+    let r = one("crates/exec/src/hot.rs", "fn f() { panic!(\"boom\"); }\n");
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 1);
+    let r = one(
+        "crates/sched/src/hot.rs",
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }\n",
+    );
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 1);
+}
+
+#[test]
+fn panic_paths_clean() {
+    // Typed error instead of panic: clean.
+    let r = one(
+        "crates/core/src/hot.rs",
+        "fn f(x: Option<u32>) -> Result<u32> { x.ok_or(NorthupError::Empty) }\n",
+    );
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 0);
+    // unwrap in #[cfg(test)] code is fine.
+    let r = one(
+        "crates/core/src/hot.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+    );
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 0);
+    // `unwrap` mentioned in a comment or string is not a finding.
+    let r = one(
+        "crates/core/src/hot.rs",
+        "// never unwrap() here\nfn f() -> &'static str { \"x.unwrap()\" }\n",
+    );
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 0);
+    // apps is outside R4's scope.
+    let r = one("crates/apps/src/hot.rs", "fn f() { x.unwrap(); }\n");
+    assert_eq!(failing_count(&r, rules::PANIC_PATHS), 0);
+}
+
+#[test]
+fn panic_paths_suppressed_with_justification() {
+    let r = one(
+        "crates/exec/src/hot.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    // analyze:allow(panic-paths): invariant established two lines up; unreachable in practice\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn lock_order_true_positive() {
+    let r = one(
+        "crates/exec/src/locks.rs",
+        "fn ab(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n\
+         fn ba(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }\n",
+    );
+    assert!(failing_count(&r, rules::LOCK_ORDER) >= 1);
+}
+
+#[test]
+fn lock_order_clean() {
+    // Consistent order across functions: no cycle.
+    let r = one(
+        "crates/exec/src/locks.rs",
+        "fn ab(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n\
+         fn ab2(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::LOCK_ORDER), 0);
+    // Dropping the first guard before taking the second breaks the edge.
+    let r = one(
+        "crates/exec/src/locks.rs",
+        "fn ab(s: &S) { let a = s.alpha.lock(); drop(a); let _b = s.beta.lock(); }\n\
+         fn ba(s: &S) { let b = s.beta.lock(); drop(b); let _a = s.alpha.lock(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::LOCK_ORDER), 0);
+}
+
+#[test]
+fn lock_order_transitive_cycle_through_calls() {
+    // f holds alpha and calls g, which takes beta; h orders them the
+    // other way — a cycle only visible through the call graph.
+    let r = one(
+        "crates/sched/src/locks.rs",
+        "fn f(s: &S) { let _a = s.alpha.lock(); g(s); }\n\
+         fn g(s: &S) { let _b = s.beta.lock(); }\n\
+         fn h(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }\n",
+    );
+    assert!(failing_count(&r, rules::LOCK_ORDER) >= 1);
+}
+
+#[test]
+fn lock_order_suppressed_with_justification() {
+    // A cycle reports one finding per edge, so each participating
+    // acquisition site needs its own justified allow.
+    let r = one(
+        "crates/exec/src/locks.rs",
+        "// analyze:allow(lock-order): ab runs only on the worker path, never concurrently with ba\n\
+         fn ab(s: &S) { let _a = s.alpha.lock(); let _b = s.beta.lock(); }\n\
+         // analyze:allow(lock-order): ba only runs at shutdown after workers quiesce\n\
+         fn ba(s: &S) { let _b = s.beta.lock(); let _a = s.alpha.lock(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::LOCK_ORDER), 0);
+    assert!(r.findings.iter().any(|f| f.suppressed));
+}
+
+// ------------------------------------------------- suppression hygiene
+
+#[test]
+fn empty_justification_always_fails() {
+    let r = one(
+        "crates/core/src/cache.rs",
+        "// analyze:allow(ordered-iteration):\nuse std::collections::HashMap;\n",
+    );
+    // The HashMap finding may be suppressed, but the empty justification
+    // itself is a failing meta-finding — the tree cannot go green.
+    assert!(failing_count(&r, rules::SUPPRESSION) >= 1);
+    assert!(!r.is_clean());
+}
+
+#[test]
+fn unknown_rule_in_allow_fails() {
+    let r = one(
+        "crates/core/src/cache.rs",
+        "// analyze:allow(made-up-rule): sounds legit\nfn f() {}\n",
+    );
+    assert!(failing_count(&r, rules::SUPPRESSION) >= 1);
+}
+
+#[test]
+fn unused_justified_allow_is_harmless() {
+    let r = one(
+        "crates/core/src/fine.rs",
+        "// analyze:allow(panic-paths): defensive allow on a line that is clean\nfn f() {}\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+}

@@ -129,6 +129,7 @@ pub fn hotspot_in_memory(cfg: &HotspotConfig, mode: ExecMode) -> Result<AppRun> 
     let rt = Runtime::new(tree, mode)?;
     let root = rt.root_ctx();
     let n2 = (cfg.n * cfg.n) as u64;
+    // analyze:allow(lease-discipline): grids live for the whole run; the run's Runtime reclaims them on drop
     let temp = root.alloc(n2 * 4)?;
     let power = root.alloc(n2 * 4)?;
     let out = root.alloc(n2 * 4)?;
@@ -179,6 +180,7 @@ pub fn hotspot_northup_on(rt: &Runtime, cfg: &HotspotConfig) -> Result<AppRun> {
     let root = rt.tree().root();
     let n2b = (n * n * 4) as u64;
     // Ping-pong temperature files + the power file.
+    // analyze:allow(lease-discipline): grids live for the whole run; the caller's Runtime reclaims them on drop
     let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
     let p_file = rt.alloc(n2b, root)?;
 
@@ -422,6 +424,7 @@ pub fn hotspot_split_leaf(
 
     let root = rt.tree().root();
     let n2b = (n * n * 4) as u64;
+    // analyze:allow(lease-discipline): grids live for the whole run; the caller's Runtime reclaims them on drop
     let t_files = [rt.alloc(n2b, root)?, rt.alloc(n2b, root)?];
     let p_file = rt.alloc(n2b, root)?;
 

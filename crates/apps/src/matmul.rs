@@ -108,6 +108,7 @@ pub fn matmul_in_memory(cfg: &MatmulConfig, mode: ExecMode) -> Result<AppRun> {
     let root = rt.root_ctx();
     let n = cfg.n as u64;
     let bytes = n * n * cfg.elem_bytes();
+    // analyze:allow(lease-discipline): matrices live for the whole run; the run's Runtime reclaims them on drop
     let a = root.alloc(bytes)?;
     let b = root.alloc(bytes)?;
     let c = root.alloc(bytes)?;
@@ -212,6 +213,7 @@ pub fn matmul_northup_on(rt: &Runtime, cfg: &MatmulConfig) -> Result<AppRun> {
     let root_ctx = rt.root_ctx();
     let root = root_ctx.node();
     let file_bytes = n * n * es;
+    // analyze:allow(lease-discipline): matrices live for the whole run; the caller's Runtime reclaims them on drop
     let a_file = rt.alloc(file_bytes, root)?;
     let b_file = rt.alloc(file_bytes, root)?;
     let c_file = rt.alloc(file_bytes, root)?;
@@ -406,6 +408,7 @@ pub fn matmul_northup_ksplit(cfg: &MatmulConfig, tree: Tree, mode: ExecMode) -> 
     let root = rt.tree().root();
     // Storage layout: all three matrices tile-major (tile (r, c) at offset
     // (r * nb + c) * tile), written by preprocessing.
+    // analyze:allow(lease-discipline): matrices live for the whole run; the caller's Runtime reclaims them on drop
     let a_file = rt.alloc(n * n * es, root)?;
     let b_file = rt.alloc(n * n * es, root)?;
     let c_file = rt.alloc(n * n * es, root)?;

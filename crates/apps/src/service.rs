@@ -24,7 +24,7 @@ use northup::Tree;
 use northup_exec::{CancelToken, ThreadPool};
 use northup_sched::{
     build_chain, staging_reservation, AdmissionPolicy, Fabric, JobId, JobScheduler, JobSpec,
-    JobWork, Priority, RealFabric, SchedReport, SchedulerConfig, TenantId,
+    JobWork, Priority, RealFabric, SchedError, SchedReport, SchedulerConfig, TenantId,
 };
 use northup_sim::{SimDur, SimTime};
 use rand::{Rng, SeedableRng, StdRng};
@@ -336,7 +336,11 @@ pub fn trace_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
 
 /// Replay `trace` through a [`JobScheduler`] with the given policy and
 /// otherwise-default configuration.
-pub fn run_service(tree: &Tree, trace: Vec<JobSpec>, policy: AdmissionPolicy) -> SchedReport {
+pub fn run_service(
+    tree: &Tree,
+    trace: Vec<JobSpec>,
+    policy: AdmissionPolicy,
+) -> Result<SchedReport, SchedError> {
     run_service_with(
         tree,
         trace,
@@ -349,7 +353,11 @@ pub fn run_service(tree: &Tree, trace: Vec<JobSpec>, policy: AdmissionPolicy) ->
 
 /// Replay `trace` through a [`JobScheduler`] with full control over the
 /// configuration (preemption, resize drain, tenant quotas).
-pub fn run_service_with(tree: &Tree, trace: Vec<JobSpec>, cfg: SchedulerConfig) -> SchedReport {
+pub fn run_service_with(
+    tree: &Tree,
+    trace: Vec<JobSpec>,
+    cfg: SchedulerConfig,
+) -> Result<SchedReport, SchedError> {
     let mut sched = JobScheduler::new(tree.clone(), cfg);
     for spec in trace {
         sched.submit(spec);
@@ -397,9 +405,9 @@ pub fn run_service_real(
     trace: Vec<JobSpec>,
     policy: AdmissionPolicy,
     threads: usize,
-) -> northup::Result<ServiceRealRun> {
+) -> Result<ServiceRealRun, SchedError> {
     let specs = trace.clone();
-    let report = run_service(tree, trace, policy);
+    let report = run_service(tree, trace, policy)?;
     let pool = Arc::new(ThreadPool::new(threads));
     let mut jobs = Vec::new();
     for (outcome, spec) in report.jobs.iter().zip(&specs) {
@@ -434,7 +442,7 @@ pub fn run_service_real(
             }
         });
         if let Some(e) = failure {
-            return Err(e);
+            return Err(e.into());
         }
         debug_assert_eq!(done, outcome.chunks_done);
         jobs.push(RealJobRun {
@@ -497,8 +505,8 @@ mod tests {
     fn service_completes_mixed_trace_and_beats_fifo() {
         let tree = tree();
         let trace = synthetic_trace(&tree, &TraceConfig::default());
-        let fair = run_service(&tree, trace.clone(), AdmissionPolicy::WeightedFair);
-        let fifo = run_service(&tree, trace, AdmissionPolicy::Fifo);
+        let fair = run_service(&tree, trace.clone(), AdmissionPolicy::WeightedFair).unwrap();
+        let fifo = run_service(&tree, trace, AdmissionPolicy::Fifo).unwrap();
         assert!(fair.all_terminal() && fifo.all_terminal());
         assert!(fair.count(JobState::Done) + fair.count(JobState::Rejected) == fair.jobs.len());
         assert!(
@@ -558,7 +566,7 @@ mod tests {
         assert!(trace.len() >= 8, "sample should be a real workload");
         let tenants: std::collections::BTreeSet<_> = trace.iter().map(|s| s.tenant).collect();
         assert!(tenants.len() >= 2, "sample exercises multiple tenants");
-        let report = run_service(&tree, trace, AdmissionPolicy::WeightedFair);
+        let report = run_service(&tree, trace, AdmissionPolicy::WeightedFair).unwrap();
         assert!(report.all_terminal());
         assert!(report.count(JobState::Done) > 0);
     }
@@ -614,7 +622,8 @@ mod tests {
                 preempt: true,
                 ..SchedulerConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(report.all_terminal());
         let hog = report.jobs.iter().find(|j| j.name == "hog").unwrap();
         let vip = report.jobs.iter().find(|j| j.name == "vip").unwrap();

@@ -138,6 +138,7 @@ pub fn spmv_in_memory(input: &SpmvInput, mode: ExecMode) -> Result<AppRun> {
     let rows = input.rows();
     let nnz = input.nnz();
     let payload = (rows + 1) * 4 + nnz * 8;
+    // analyze:allow(lease-discipline): matrix and vectors live for the whole run; the run's Runtime reclaims them on drop
     let mat = root.alloc(payload)?;
     let x = root.alloc(rows * 4)?;
     let y = root.alloc(rows * 4)?;

@@ -27,12 +27,15 @@ fn bench_service(c: &mut Criterion) {
                     synthetic_trace(&tree, cfg),
                     AdmissionPolicy::WeightedFair,
                 )
+                .expect("fair run")
                 .throughput
             })
         });
         group.bench_with_input(BenchmarkId::new("fifo", gap), &cfg, |b, cfg| {
             b.iter(|| {
-                run_service(&tree, synthetic_trace(&tree, cfg), AdmissionPolicy::Fifo).throughput
+                run_service(&tree, synthetic_trace(&tree, cfg), AdmissionPolicy::Fifo)
+                    .expect("fifo run")
+                    .throughput
             })
         });
     }

@@ -518,8 +518,10 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 &tree,
                 synthetic_trace(&tree, &cfg),
                 AdmissionPolicy::WeightedFair,
-            );
-            let fifo = run_service(&tree, synthetic_trace(&tree, &cfg), AdmissionPolicy::Fifo);
+            )
+            .expect("weighted-fair service run");
+            let fifo = run_service(&tree, synthetic_trace(&tree, &cfg), AdmissionPolicy::Fifo)
+                .expect("fifo service run");
             // Preemption and live resize only matter when the staging
             // level is contended, so those two series run the same mix at
             // paper scale (scale = 1): hotspot holds ~1/4 of DRAM and
@@ -535,7 +537,8 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                     preempt: true,
                     ..SchedulerConfig::default()
                 },
-            );
+            )
+            .expect("preemption service run");
             // Live reconfiguration: lose half of every memory level for
             // the middle half of the trace span, evicting as needed.
             let resized = {
@@ -554,7 +557,7 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 let span_s = contended.jobs as f64 * gap as f64 * 1e-6;
                 sched.resize_budgets(SimTime::from_secs_f64(span_s * 0.25), full.scaled(0.5));
                 sched.resize_budgets(SimTime::from_secs_f64(span_s * 0.75), full);
-                sched.run()
+                sched.run().expect("resize service run")
             };
             ServiceRow {
                 mean_gap_us: gap,

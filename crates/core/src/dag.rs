@@ -19,7 +19,7 @@
 use crate::data::BufferHandle;
 use northup_sim::{Category, SimDur};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One recorded operation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -144,9 +144,9 @@ impl TaskDag {
         (observed.as_secs_f64() / cp.as_secs_f64()).max(1.0)
     }
 
-    /// Per-category node counts (sanity/reporting).
-    pub fn category_histogram(&self) -> HashMap<&'static str, usize> {
-        let mut h = HashMap::new();
+    /// Per-category node counts (sanity/reporting), in stable label order.
+    pub fn category_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut h = BTreeMap::new();
         for n in &self.nodes {
             *h.entry(n.category.label()).or_insert(0) += 1;
         }
@@ -156,7 +156,7 @@ impl TaskDag {
     /// Graphviz DOT rendering (critical-path nodes highlighted).
     pub fn render_dot(&self) -> String {
         let (_, cp) = self.critical_path();
-        let on_cp: std::collections::HashSet<u32> = cp.into_iter().collect();
+        let on_cp: BTreeSet<u32> = cp.into_iter().collect();
         let mut out = String::from("digraph tasks {\n  rankdir=LR;\n");
         for n in &self.nodes {
             let style = if on_cp.contains(&n.id) {
@@ -185,10 +185,11 @@ impl TaskDag {
 #[derive(Debug, Default)]
 pub(crate) struct DagRecorder {
     dag: TaskDag,
-    /// Last writer of each live buffer.
-    writer: HashMap<u64, u32>,
+    /// Last writer of each live buffer. Ordered so DAG construction (and
+    /// thus DOT output) is identical run to run.
+    writer: BTreeMap<u64, u32>,
     /// Readers of each buffer since its last write.
-    readers: HashMap<u64, Vec<u32>>,
+    readers: BTreeMap<u64, Vec<u32>>,
 }
 
 impl DagRecorder {

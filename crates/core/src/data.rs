@@ -204,9 +204,15 @@ impl Runtime {
             g.backends[di.node.0].write(di.block, dst_off, &tmp)?;
         }
 
-        let s = g.buffers.get_mut(&src.0).expect("checked");
+        let s = g
+            .buffers
+            .get_mut(&src.0)
+            .ok_or(NorthupError::UnknownBuffer(src))?;
         s.last_read_end = s.last_read_end.max(served.end);
-        let d = g.buffers.get_mut(&dst.0).expect("checked");
+        let d = g
+            .buffers
+            .get_mut(&dst.0)
+            .ok_or(NorthupError::UnknownBuffer(dst))?;
         d.ready_at = served.end;
         d.last_read_end = d.last_read_end.max(served.end);
         g.dag_record(
@@ -329,9 +335,15 @@ impl Runtime {
             }
         }
 
-        let s = g.buffers.get_mut(&src.0).expect("checked");
+        let s = g
+            .buffers
+            .get_mut(&src.0)
+            .ok_or(NorthupError::UnknownBuffer(src))?;
         s.last_read_end = s.last_read_end.max(served.end);
-        let d = g.buffers.get_mut(&dst.0).expect("checked");
+        let d = g
+            .buffers
+            .get_mut(&dst.0)
+            .ok_or(NorthupError::UnknownBuffer(dst))?;
         d.ready_at = served.end;
         d.last_read_end = d.last_read_end.max(served.end);
         g.dag_record(
@@ -422,7 +434,7 @@ impl Runtime {
                     };
                     let res = g.link_res[link.0]
                         .as_mut()
-                        .expect("edge node has a link resource");
+                        .ok_or(NorthupError::NotAdjacent(src_node, dst_node))?;
                     res.serve_bytes(ready, len)
                 }
             }
@@ -480,11 +492,17 @@ impl Runtime {
         };
         g.timeline.record(served.start, served.end, category, label);
         for &h in reads {
-            let b = g.buffers.get_mut(&h.0).expect("checked");
+            let b = g
+                .buffers
+                .get_mut(&h.0)
+                .ok_or(NorthupError::UnknownBuffer(h))?;
             b.last_read_end = b.last_read_end.max(served.end);
         }
         for &h in writes {
-            let b = g.buffers.get_mut(&h.0).expect("checked");
+            let b = g
+                .buffers
+                .get_mut(&h.0)
+                .ok_or(NorthupError::UnknownBuffer(h))?;
             b.ready_at = served.end;
             b.last_read_end = b.last_read_end.max(served.end);
         }

@@ -29,9 +29,46 @@
 //! the *same* stages with the *same* costs, and chunk index `i` means the
 //! same unit of work everywhere.
 
-use crate::error::Result;
+use crate::error::NorthupError;
 use crate::topology::{NodeId, Tree};
 use northup_sim::{SimDur, SimTime};
+use std::fmt;
+
+/// Errors from fabric execution — distinct from [`NorthupError`] so
+/// backends can say *which* phase failed and callers (the scheduler, the
+/// service driver) can react without string-matching.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The backing runtime rejected a data movement or compute charge
+    /// while serving a chunk.
+    Runtime(NorthupError),
+    /// Restoring the fabric to idle failed (e.g. rebuilding a real
+    /// arena's runtime and file pattern).
+    Reset(NorthupError),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Runtime(e) => write!(f, "fabric chunk execution failed: {e}"),
+            FabricError::Reset(e) => write!(f, "fabric reset failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::Runtime(e) | FabricError::Reset(e) => Some(e),
+        }
+    }
+}
+
+impl From<NorthupError> for FabricError {
+    fn from(e: NorthupError) -> Self {
+        FabricError::Runtime(e)
+    }
+}
 
 /// One step kind of a chunk's root→leaf→root journey.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,10 +302,16 @@ pub trait Fabric {
     /// earlier than `ready`, and return its completion in virtual time.
     /// Chunks of one chain are sequential: callers pass the previous
     /// chunk's completion as the next chunk's `ready`.
-    fn run_chunk(&mut self, chain: &ChunkChain, idx: u32, ready: SimTime) -> Result<SimTime>;
+    fn run_chunk(
+        &mut self,
+        chain: &ChunkChain,
+        idx: u32,
+        ready: SimTime,
+    ) -> Result<SimTime, FabricError>;
 
-    /// Restore the fabric to idle at time zero.
-    fn reset(&mut self);
+    /// Restore the fabric to idle at time zero. Fallible: a real fabric
+    /// rebuilds its runtime and file pattern, which can be refused.
+    fn reset(&mut self) -> Result<(), FabricError>;
 }
 
 #[cfg(test)]
@@ -282,9 +325,9 @@ mod tests {
     }
 
     #[test]
-    fn chain_covers_the_path_and_skips_zero_cost() {
+    fn chain_covers_the_path_and_skips_zero_cost() -> Result<(), crate::TopologyError> {
         let tree = tree();
-        let leaf = tree.leaves().next().unwrap().id;
+        let leaf = tree.first_leaf()?.id;
         let work = ChunkWork::new()
             .read(1)
             .xfer(1)
@@ -301,12 +344,13 @@ mod tests {
         assert_eq!(read_only.stages[0].stage, Stage::Read);
 
         assert!(build_chain(&tree, leaf, ChunkWork::new(), 1).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn costs_attach_to_the_right_stages() {
+    fn costs_attach_to_the_right_stages() -> Result<(), crate::TopologyError> {
         let tree = tree();
-        let leaf = tree.leaves().next().unwrap().id;
+        let leaf = tree.first_leaf()?.id;
         let work = ChunkWork::new()
             .read(100)
             .xfer(50)
@@ -322,16 +366,18 @@ mod tests {
                 Stage::WriteBack => assert_eq!(cs.cost.bytes, 25),
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn staging_node_is_first_hop_below_root() {
+    fn staging_node_is_first_hop_below_root() -> Result<(), crate::TopologyError> {
         let tree = tree();
-        let leaf = tree.leaves().next().unwrap().id;
+        let leaf = tree.first_leaf()?.id;
         let chain = build_chain(&tree, leaf, ChunkWork::new().read(1), 1);
         let staging = chain.staging_node(&tree);
         // On the two-level APU preset the leaf hangs directly off the root.
         assert_eq!(tree.parent(staging), Some(tree.root()));
+        Ok(())
     }
 
     #[test]

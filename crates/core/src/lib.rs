@@ -76,7 +76,8 @@ pub use dag::{DagNode, TaskDag};
 pub use data::BufferHandle;
 pub use error::{NorthupError, Result};
 pub use fabric::{
-    build_chain, ChainStage, Checkpoint, ChunkChain, ChunkWork, Fabric, Stage, StageCost,
+    build_chain, ChainStage, Checkpoint, ChunkChain, ChunkWork, Fabric, FabricError, Stage,
+    StageCost,
 };
 pub use lease::CapacityLease;
 pub use pipeline::ChunkPipeline;
@@ -84,5 +85,5 @@ pub use plan::{plan_blocks, pow2_candidates, BlockPlan, DEFAULT_HEADROOM};
 pub use projection::{project_run, project_sweep, Projection, FIG9_SWEEP};
 pub use queues::{TaskId, TaskTag, WorkQueues};
 pub use runtime::{ExecMode, RunReport, Runtime, SetupCosts};
-pub use topology::{Node, NodeId, ProcKind, ProcessorDesc, Tree, TreeBuilder};
+pub use topology::{Node, NodeId, ProcKind, ProcessorDesc, TopologyError, Tree, TreeBuilder};
 pub use transform::{Transform, TRANSFORM_BW};

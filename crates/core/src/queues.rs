@@ -113,7 +113,7 @@ impl WorkQueues {
             .enumerate()
             .min_by_key(|(i, q)| (q.len(), *i))
             .map(|(i, _)| i)
-            .expect("at least one queue")
+            .unwrap_or(0)
     }
 
     /// Totals (enqueued, completed) for a node.

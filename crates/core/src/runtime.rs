@@ -17,7 +17,7 @@ use northup_hw::{
 use northup_sim::{Breakdown, Category, Resource, SimDur, SimTime, Timeline};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How data operations execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,9 @@ pub(crate) struct RtInner {
     pub link_res: Vec<Option<Resource>>,
     /// Per-node, per-attached-processor resources.
     pub proc_res: Vec<Vec<Resource>>,
-    pub buffers: HashMap<u64, BufInfo>,
+    /// Live buffers by handle. Ordered so any schedule-visible iteration
+    /// (diagnostics, teardown) is deterministic across runs.
+    pub buffers: BTreeMap<u64, BufInfo>,
     pub next_handle: u64,
     pub timeline: Timeline,
     pub io: IoTracker,
@@ -107,7 +109,7 @@ pub(crate) struct RtInner {
     pub lease: Option<std::sync::Arc<crate::lease::CapacityLease>>,
     /// Which lease each live buffer was charged to, so `release` credits
     /// the right accounting even if the installed lease changed since.
-    pub charged: HashMap<u64, std::sync::Arc<crate::lease::CapacityLease>>,
+    pub charged: BTreeMap<u64, std::sync::Arc<crate::lease::CapacityLease>>,
 }
 
 impl RtInner {
@@ -203,7 +205,7 @@ impl Runtime {
                 node_res,
                 link_res,
                 proc_res,
-                buffers: HashMap::new(),
+                buffers: BTreeMap::new(),
                 next_handle: 0,
                 timeline: Timeline::with_spans(),
                 io: IoTracker::new(),
@@ -211,7 +213,7 @@ impl Runtime {
                 active: vec![0; n],
                 dag: None,
                 lease: None,
-                charged: HashMap::new(),
+                charged: BTreeMap::new(),
             }),
         })
     }

@@ -164,6 +164,13 @@ impl Tree {
         self.nodes.iter().filter(|n| n.is_leaf())
     }
 
+    /// The lowest-id leaf. Every well-formed tree has at least one
+    /// (a childless root is its own leaf), so this only errors on a
+    /// tree constructed with no nodes.
+    pub fn first_leaf(&self) -> Result<&Node, TopologyError> {
+        self.leaves().next().ok_or(TopologyError::Empty)
+    }
+
     /// The paper's `fetch_node_type()`: the storage class driving data-
     /// movement dispatch.
     pub fn storage_class(&self, id: NodeId) -> StorageClass {

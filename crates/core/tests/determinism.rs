@@ -1,0 +1,77 @@
+//! Determinism regression: schedule-visible containers must iterate in a
+//! stable order, so identical workloads produce byte-identical reports
+//! and DAG renderings — regardless of the order buffers were created in.
+//!
+//! This is the runtime-level counterpart of the `ordered-iteration`
+//! rule `northup-analyze` enforces statically: `core`, `sched`, and
+//! `sim` may not use `HashMap`/`HashSet` where iteration order can leak
+//! into a schedule or a report.
+
+use northup::{presets, ExecMode, NodeId, ProcKind, Runtime};
+use northup_hw::catalog;
+use northup_sim::SimDur;
+
+/// One workload: allocate a handful of buffers (in the order given by
+/// `order`), move data between them, run a kernel, and release half.
+/// Returns the DOT rendering and the category histogram of the recorded
+/// DAG plus the run's breakdown debug string.
+fn run_workload(order: &[usize]) -> (String, String, String) {
+    let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+    let leaf = tree.leaves().next().expect("preset has a leaf").id;
+    let rt = Runtime::new(tree, ExecMode::Real).expect("runtime");
+    rt.enable_dag();
+
+    // `order` permutes which logical slot gets which handle number, so
+    // two runs insert into the runtime's buffer map in different orders.
+    let mut bufs = vec![None; order.len()];
+    for &slot in order {
+        bufs[slot] = Some(rt.alloc(4096, NodeId(0)).expect("alloc"));
+    }
+    let bufs: Vec<_> = bufs.into_iter().map(|b| b.expect("filled")).collect();
+
+    let stage = rt.alloc(4096, leaf).expect("staging alloc");
+    for &b in &bufs {
+        rt.move_data(stage, 0, b, 0, 4096).expect("move down");
+    }
+    rt.charge_compute(
+        leaf,
+        ProcKind::Gpu,
+        SimDur::from_micros(10),
+        &[stage],
+        &[stage],
+        "kernel",
+    )
+    .expect("compute");
+    for &b in &bufs[..bufs.len() / 2] {
+        rt.release(b).expect("release");
+    }
+
+    let dag = rt.task_dag();
+    (
+        dag.render_dot(),
+        format!("{:?}", dag.category_histogram()),
+        format!("{:?}", rt.report().breakdown),
+    )
+}
+
+#[test]
+fn identical_workloads_render_identically() {
+    let a = run_workload(&[0, 1, 2, 3]);
+    let b = run_workload(&[0, 1, 2, 3]);
+    assert_eq!(a, b, "same workload, same process: outputs must match");
+}
+
+#[test]
+fn shuffled_buffer_creation_only_relabels_nodes() {
+    // Different creation orders give different handle numbering, but the
+    // *structure* of the recorded DAG (node count, edge count, category
+    // mix) and the charged schedule must be identical: nothing in the
+    // runtime may iterate a container in creation order.
+    let a = run_workload(&[0, 1, 2, 3]);
+    let b = run_workload(&[3, 1, 0, 2]);
+    let c = run_workload(&[2, 3, 1, 0]);
+    assert_eq!(a.1, b.1, "category histogram independent of alloc order");
+    assert_eq!(a.1, c.1);
+    assert_eq!(a.2, b.2, "breakdown independent of alloc order");
+    assert_eq!(a.2, c.2);
+}

@@ -19,8 +19,8 @@
 //! list scheduler never backfills idle gaps), which silently serializes
 //! concurrent jobs.
 
-use northup::fabric::{ChainStage, ChunkChain, Fabric, Stage};
-use northup::{Result, Tree};
+use northup::fabric::{ChainStage, ChunkChain, Fabric, FabricError, Stage};
+use northup::Tree;
 use northup_sim::{Resource, SimTime};
 
 /// Shared contention model: one resource per node, edge, and processor.
@@ -95,7 +95,12 @@ impl Fabric for SimFabric {
     /// meaningful when no other job interleaves (tests, FIFO baselines);
     /// the scheduler proper books stage by stage through
     /// [`serve`](SimFabric::serve).
-    fn run_chunk(&mut self, chain: &ChunkChain, _idx: u32, ready: SimTime) -> Result<SimTime> {
+    fn run_chunk(
+        &mut self,
+        chain: &ChunkChain,
+        _idx: u32,
+        ready: SimTime,
+    ) -> std::result::Result<SimTime, FabricError> {
         let mut t = ready;
         for stage in &chain.stages {
             t = self.serve(stage, t);
@@ -103,7 +108,7 @@ impl Fabric for SimFabric {
         Ok(t)
     }
 
-    fn reset(&mut self) {
+    fn reset(&mut self) -> std::result::Result<(), FabricError> {
         for r in &mut self.node_res {
             r.reset();
         }
@@ -113,6 +118,7 @@ impl Fabric for SimFabric {
         for r in self.comp_res.iter_mut().flatten() {
             r.reset();
         }
+        Ok(())
     }
 }
 
@@ -183,7 +189,7 @@ mod tests {
             1,
         );
         let t1 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
-        fab.reset();
+        fab.reset().unwrap();
         let t2 = fab.run_chunk(&chain, 0, SimTime::ZERO).unwrap();
         assert_eq!(t1, t2, "deterministic replay after reset");
     }

@@ -51,19 +51,21 @@
 //!     staging_reservation(&tree, 512 << 20),
 //!     JobWork::new(4).read(64 << 20).xfer(64 << 20).compute(SimDur::from_millis(5)),
 //! ));
-//! let report = sched.run();
+//! let report = sched.run().unwrap();
 //! assert_eq!(report.job(id).state, JobState::Done);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod fabric;
 pub mod job;
 pub mod real;
 pub mod reserve;
 pub mod scheduler;
 
+pub use error::SchedError;
 pub use fabric::SimFabric;
 pub use job::{JobId, JobSpec, JobState, JobWork, Priority, TenantId};
 pub use real::RealFabric;

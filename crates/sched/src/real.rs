@@ -20,7 +20,7 @@
 //! its [`Checkpoint`](northup::fabric::Checkpoint) — completed chunks
 //! are never re-run.
 
-use northup::fabric::{ChunkChain, Fabric};
+use northup::fabric::{ChunkChain, Fabric, FabricError};
 use northup::lease::CapacityLease;
 use northup::{ExecMode, NodeId, Result, Runtime, Tree};
 use northup_exec::ThreadPool;
@@ -102,7 +102,12 @@ impl Fabric for RealFabric {
     /// write-back bytes up, release the buffer. Returns the runtime's
     /// virtual completion (its charged makespan), which is monotone
     /// across chunks.
-    fn run_chunk(&mut self, chain: &ChunkChain, idx: u32, ready: SimTime) -> Result<SimTime> {
+    fn run_chunk(
+        &mut self,
+        chain: &ChunkChain,
+        idx: u32,
+        ready: SimTime,
+    ) -> std::result::Result<SimTime, FabricError> {
         let work = chain.work;
         let stage_bytes = work.xfer_bytes.max(work.write_bytes);
         let staging = chain.staging_node(&self.tree);
@@ -163,12 +168,13 @@ impl Fabric for RealFabric {
 
     /// Rebuild the runtime (fresh timeline, fresh file pattern) and clear
     /// the checksum.
-    fn reset(&mut self) {
+    fn reset(&mut self) -> std::result::Result<(), FabricError> {
         let fresh = RealFabric::new(&self.tree, Arc::clone(&self.pool), self.file_bytes)
-            .expect("reset re-runs a construction that already succeeded");
+            .map_err(FabricError::Reset)?;
         self.rt = fresh.rt;
         self.file = fresh.file;
         self.checksum = 0;
+        Ok(())
     }
 }
 
@@ -309,7 +315,7 @@ mod tests {
         let ch = chain(&tree, 1, 16 << 10);
         let t1 = fab.run_chunk(&ch, 0, SimTime::ZERO).unwrap();
         let c1 = fab.checksum();
-        fab.reset();
+        fab.reset().unwrap();
         assert_eq!(fab.checksum(), 0);
         let t2 = fab.run_chunk(&ch, 0, SimTime::ZERO).unwrap();
         assert_eq!(t1, t2, "fresh arena replays identically");

@@ -44,6 +44,7 @@
 //!
 //! [`Checkpoint`]: northup::fabric::Checkpoint
 
+use crate::error::SchedError;
 use crate::fabric::SimFabric;
 use crate::job::{JobId, JobSpec, JobState, Priority, TenantId};
 use crate::reserve::{NodeBudgets, Reservation, TenantQuota};
@@ -417,7 +418,9 @@ impl JobScheduler {
 
     /// Replay the submitted trace in virtual time and consume the
     /// scheduler. Deterministic: same trace + same config ⇒ same report.
-    pub fn run(mut self) -> SchedReport {
+    /// Errors surface violated internal invariants as [`SchedError`]
+    /// instead of panicking the embedding service.
+    pub fn run(mut self) -> Result<SchedReport, SchedError> {
         let mut st = RunState::new(&self.tree, &self.cfg);
 
         // Seed arrivals (and standalone cancellations of queued jobs).
@@ -435,41 +438,42 @@ impl JobScheduler {
 
         while let Some(Reverse((t, kind, id, _))) = st.events.pop() {
             match kind {
-                EV_STAGE_DONE => self.on_stage_done(&mut st, JobId(id), t),
+                EV_STAGE_DONE => self.on_stage_done(&mut st, JobId(id), t)?,
                 EV_CANCEL => self.on_cancel(&mut st, JobId(id), t),
-                EV_RESIZE => self.on_resize(&mut st, id as usize, t),
-                EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t),
-                EV_ARRIVAL => self.on_arrival(&mut st, JobId(id), t),
-                _ => unreachable!("unknown event kind"),
+                EV_RESIZE => self.on_resize(&mut st, id as usize, t)?,
+                EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t)?,
+                EV_ARRIVAL => self.on_arrival(&mut st, JobId(id), t)?,
+                other => return Err(SchedError::UnknownEvent(other)),
             }
         }
 
-        self.into_report(st)
+        Ok(self.into_report(st))
     }
 
-    fn on_arrival(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+    fn on_arrival(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
         let rec = &mut self.jobs[id.0 as usize];
         if rec.state.is_terminal() {
-            return; // e.g. cancelled before arrival
+            return Ok(()); // e.g. cancelled before arrival
         }
         if !self.budgets.feasible(&rec.spec.reservation) {
             rec.state = JobState::Rejected;
             rec.finished_at = Some(t);
-            return;
+            return Ok(());
         }
         let waiting: usize = st.class_queues.iter().map(VecDeque::len).sum();
         if waiting >= self.cfg.max_queue {
             rec.state = JobState::Rejected;
             rec.finished_at = Some(t);
-            return;
+            return Ok(());
         }
         let class = class_index(rec.spec.priority);
         st.class_queues[class].push_back(id);
         st.fifo_queue.push_back(id);
-        self.admit_pass(st, t);
+        self.admit_pass(st, t)?;
         if self.cfg.preempt && self.jobs[id.0 as usize].state == JobState::Queued {
             self.try_preempt(st, id, t);
         }
+        Ok(())
     }
 
     fn on_cancel(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
@@ -491,7 +495,7 @@ impl JobScheduler {
     }
 
     /// A budget reconfiguration takes effect.
-    fn on_resize(&mut self, st: &mut RunState, idx: usize, t: SimTime) {
+    fn on_resize(&mut self, st: &mut RunState, idx: usize, t: SimTime) -> Result<(), SchedError> {
         self.budgets = self.pending_resizes[idx].1.clone();
         st.resize_log.push(ResizeSample {
             at: t,
@@ -517,27 +521,37 @@ impl JobScheduler {
         if self.cfg.resize_drain == ResizeDrain::Preempt {
             self.mark_for_resize(st, t);
         }
-        self.admit_pass(st, t); // a growth may admit immediately
+        self.admit_pass(st, t) // a growth may admit immediately
     }
 
     /// A throttled tenant's bucket has refilled past zero: retry admission.
-    fn on_quota(&mut self, st: &mut RunState, tenant: TenantId, t: SimTime) {
+    fn on_quota(
+        &mut self,
+        st: &mut RunState,
+        tenant: TenantId,
+        t: SimTime,
+    ) -> Result<(), SchedError> {
         st.quota_wake.remove(&tenant);
-        self.admit_pass(st, t);
+        self.admit_pass(st, t)
     }
 
     /// A stage of the current chunk finished: book the next stage at its
     /// actual ready time, or close the chunk and decide at the boundary —
     /// cancel > done > resize-evict > preempt > next chunk.
-    fn on_stage_done(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+    fn on_stage_done(
+        &mut self,
+        st: &mut RunState,
+        id: JobId,
+        t: SimTime,
+    ) -> Result<(), SchedError> {
         let rec = &mut self.jobs[id.0 as usize];
         rec.stage_idx += 1;
-        let chain = rec.chain.as_ref().expect("running job has a chain");
+        let chain = rec.chain.as_ref().ok_or(SchedError::MissingChain(id))?;
         if rec.stage_idx < chain.stages.len() {
             let stage = chain.stages[rec.stage_idx];
             let end = st.fabric.serve(&stage, t);
             st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
-            return;
+            return Ok(());
         }
         rec.chunks_done += 1;
         rec.stage_idx = 0;
@@ -547,24 +561,24 @@ impl JobScheduler {
             index: rec.chunks_done - 1,
         });
         if rec.cancel_requested {
-            self.finish(st, id, JobState::Cancelled, t);
+            self.finish(st, id, JobState::Cancelled, t)
         } else if rec.chunks_done >= rec.spec.work.chunks {
-            self.finish(st, id, JobState::Done, t);
+            self.finish(st, id, JobState::Done, t)
         } else if rec.evict_for_resize {
-            self.evict(st, id, t);
+            self.evict(st, id, t)
         } else if rec.preempt_requested {
             if self.eviction_still_needed(st, id) {
-                self.evict(st, id, t);
+                self.evict(st, id, t)
             } else {
                 // The pressure passed (e.g. another release already made
                 // room); keep running.
                 let rec = &mut self.jobs[id.0 as usize];
                 rec.preempt_requested = false;
                 rec.preempt_requested_at = None;
-                self.issue_chunk(st, id, t);
+                self.issue_chunk(st, id, t)
             }
         } else {
-            self.issue_chunk(st, id, t);
+            self.issue_chunk(st, id, t)
         }
     }
 
@@ -572,10 +586,10 @@ impl JobScheduler {
     /// stages are booked as their predecessors complete, so concurrent
     /// jobs interleave on every shared resource instead of one job
     /// reserving the whole chain up front.
-    fn issue_chunk(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+    fn issue_chunk(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
         let rec = &mut self.jobs[id.0 as usize];
         rec.state = JobState::Running;
-        let chain = rec.chain.as_ref().expect("issued job has a chain");
+        let chain = rec.chain.as_ref().ok_or(SchedError::MissingChain(id))?;
         if chain.is_empty() {
             // All-zero work shape: every chunk completes instantly.
             for i in rec.chunks_done..rec.spec.work.chunks {
@@ -591,17 +605,17 @@ impl JobScheduler {
             } else {
                 JobState::Done
             };
-            self.finish(st, id, end_state, t);
-            return;
+            return self.finish(st, id, end_state, t);
         }
         let first = chain.stages[0];
         let end = st.fabric.serve(&first, t);
         st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
+        Ok(())
     }
 
     /// Commit the reservation, place the job, and start its next chunk
     /// (the first for fresh admissions, the checkpoint for resumed ones).
-    fn admit(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+    fn admit(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
         let rec = &mut self.jobs[id.0 as usize];
         debug_assert!(matches!(rec.state, JobState::Queued | JobState::Preempted));
         for (n, b) in rec.spec.reservation.iter() {
@@ -632,7 +646,7 @@ impl JobScheduler {
         // shallowest work queues; ties break toward the lowest leaf id.
         // A resumed job is re-placed — only its checkpoint survives
         // eviction, not its slot.
-        let leaf = self.place(st);
+        let leaf = self.place(st)?;
         let queue = st.wq.shortest_queue(leaf);
         let task = st.wq.enqueue(leaf, queue, name);
         let spec = &self.jobs[id.0 as usize].spec;
@@ -644,13 +658,13 @@ impl JobScheduler {
         rec.stage_idx = 0;
 
         if done {
-            self.finish(st, id, JobState::Done, t);
+            self.finish(st, id, JobState::Done, t)
         } else {
-            self.issue_chunk(st, id, t);
+            self.issue_chunk(st, id, t)
         }
     }
 
-    fn place(&self, st: &RunState) -> NodeId {
+    fn place(&self, st: &RunState) -> Result<NodeId, SchedError> {
         let mut best: Option<(usize, NodeId)> = None;
         for leaf in self.tree.leaves() {
             let anchor = subtree_anchor(&self.tree, leaf.id);
@@ -663,7 +677,7 @@ impl JobScheduler {
                 best = Some((depth, leaf.id));
             }
         }
-        best.expect("tree has at least one leaf").1
+        best.map(|(_, leaf)| leaf).ok_or(SchedError::NoLeaf)
     }
 
     /// Credit the reservation back and sample the capacity trace (shared
@@ -694,7 +708,13 @@ impl JobScheduler {
         }
     }
 
-    fn finish(&mut self, st: &mut RunState, id: JobId, state: JobState, t: SimTime) {
+    fn finish(
+        &mut self,
+        st: &mut RunState,
+        id: JobId,
+        state: JobState,
+        t: SimTime,
+    ) -> Result<(), SchedError> {
         debug_assert!(state.is_terminal());
         self.release_capacity(st, id, t);
         let rec = &mut self.jobs[id.0 as usize];
@@ -709,13 +729,13 @@ impl JobScheduler {
             kind: AdmissionEventKind::Released,
         });
         st.active -= 1;
-        self.admit_pass(st, t);
+        self.admit_pass(st, t)
     }
 
     /// Evict a running job at its chunk boundary: release the
     /// reservation, keep the checkpoint, and re-queue it at the front of
     /// its class so it resumes as soon as capacity returns.
-    fn evict(&mut self, st: &mut RunState, id: JobId, t: SimTime) {
+    fn evict(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
         self.release_capacity(st, id, t);
         let rec = &mut self.jobs[id.0 as usize];
         if let Some(at) = rec.preempt_requested_at.take() {
@@ -753,7 +773,7 @@ impl JobScheduler {
             rec.state = JobState::Rejected;
             rec.finished_at = Some(t);
         }
-        self.admit_pass(st, t);
+        self.admit_pass(st, t)
     }
 
     /// Revalidation at the boundary: is some strictly-higher-priority
@@ -956,7 +976,7 @@ impl JobScheduler {
 
     /// One admission pass at virtual time `t`: admit every queued job the
     /// policy allows until nothing more fits.
-    fn admit_pass(&mut self, st: &mut RunState, t: SimTime) {
+    fn admit_pass(&mut self, st: &mut RunState, t: SimTime) -> Result<(), SchedError> {
         match self.cfg.policy {
             AdmissionPolicy::Fifo => {
                 // Strict serialization: whole machine to one job at a time.
@@ -973,14 +993,15 @@ impl JobScheduler {
                     for q in st.class_queues.iter_mut() {
                         q.retain(|&j| j != id);
                     }
-                    self.admit(st, id, t);
+                    self.admit(st, id, t)?;
                 }
+                Ok(())
             }
             AdmissionPolicy::WeightedFair => self.fair_pass(st, t),
         }
     }
 
-    fn fair_pass(&mut self, st: &mut RunState, t: SimTime) {
+    fn fair_pass(&mut self, st: &mut RunState, t: SimTime) -> Result<(), SchedError> {
         // Refresh credits once per pass for classes with waiters.
         for (c, p) in Priority::ALL.iter().enumerate() {
             if !st.class_queues[c].is_empty() {
@@ -993,7 +1014,7 @@ impl JobScheduler {
                 .filter(|&c| !st.class_queues[c].is_empty())
                 .collect();
             if order.is_empty() {
-                return;
+                return Ok(());
             }
             order.sort_by_key(|&c| (Reverse(st.credits[c]), c));
 
@@ -1011,17 +1032,17 @@ impl JobScheduler {
                         let tenant = self.jobs[id.0 as usize].spec.tenant;
                         if !self.quota_ok(st, tenant, t) {
                             self.schedule_quota_wake(st, tenant, t);
-                            return; // throttled; retry at the wake
+                            return Ok(()); // throttled; retry at the wake
                         }
                         st.class_queues[b].pop_front();
                         st.fifo_queue.retain(|&j| j != id);
                         st.credits[b] = 0;
                         st.starve[b] = 0;
                         st.blocked_class = None;
-                        self.admit(st, id, t);
+                        self.admit(st, id, t)?;
                         continue;
                     }
-                    return; // must wait for the blocked class's head
+                    return Ok(()); // must wait for the blocked class's head
                 }
             }
 
@@ -1052,12 +1073,12 @@ impl JobScheduler {
                 st.fifo_queue.retain(|&j| j != id);
                 st.credits[c] = 0;
                 st.starve[c] = 0;
-                self.admit(st, id, t);
+                self.admit(st, id, t)?;
                 admitted = true;
                 break;
             }
             if !admitted {
-                return;
+                return Ok(());
             }
         }
     }
@@ -1188,11 +1209,14 @@ impl RunState {
     }
 }
 
+/// The class-queue index of a priority. Total by construction — the
+/// match mirrors `Priority::ALL`'s order, so no lookup can fail.
 fn class_index(p: Priority) -> usize {
-    Priority::ALL
-        .iter()
-        .position(|&q| q == p)
-        .expect("priority in ALL")
+    match p {
+        Priority::Interactive => 0,
+        Priority::Normal => 1,
+        Priority::Batch => 2,
+    }
 }
 
 /// The child-of-root subtree containing `node` (the node itself when it
@@ -1251,7 +1275,7 @@ mod tests {
         let mut sched = JobScheduler::new(tree.clone(), SchedulerConfig::default());
         let a = sched.submit(small_job("a", &tree, 0.6, 4));
         let b = sched.submit(small_job("b", &tree, 0.6, 4));
-        let report = sched.run();
+        let report = sched.run().unwrap();
 
         assert_eq!(report.job(a).state, JobState::Done);
         assert_eq!(report.job(b).state, JobState::Done);
@@ -1285,7 +1309,7 @@ mod tests {
             for i in 0..6 {
                 s.submit(small_job(&format!("j{i}"), &tree, 0.3, 3));
             }
-            s.run()
+            s.run().unwrap()
         };
         let fair = make(AdmissionPolicy::WeightedFair);
         let fifo = make(AdmissionPolicy::Fifo);
@@ -1315,7 +1339,7 @@ mod tests {
         for i in 0..5 {
             sched.submit(small_job(&format!("w{i}"), &tree, 0.9, 1));
         }
-        let report = sched.run();
+        let report = sched.run().unwrap();
         assert!(
             report.count(JobState::Rejected) >= 3,
             "{}",
@@ -1335,7 +1359,7 @@ mod tests {
             Reservation::new().with(dram, too_big),
             JobWork::new(1).read(1 << 20),
         ));
-        let report = sched.run();
+        let report = sched.run().unwrap();
         assert_eq!(report.job(id).state, JobState::Rejected);
     }
 
@@ -1347,7 +1371,7 @@ mod tests {
         let waiter = sched.submit(small_job("waiter", &tree, 0.9, 4));
         sched.cancel(waiter, SimTime::from_secs_f64(0.001));
         sched.cancel(hog, SimTime::from_secs_f64(0.05));
-        let report = sched.run();
+        let report = sched.run().unwrap();
         assert_eq!(report.job(waiter).state, JobState::Cancelled);
         assert_eq!(report.job(hog).state, JobState::Cancelled);
         assert!(report.all_terminal());
@@ -1372,7 +1396,7 @@ mod tests {
                 small_job(&format!("i{i}"), &tree, 0.45, 2).priority(Priority::Interactive),
             );
         }
-        let report = sched.run();
+        let report = sched.run().unwrap();
         assert_eq!(report.count(JobState::Done), 8);
         // Every batch job finished — no starvation.
         for j in &report.jobs {
@@ -1393,7 +1417,7 @@ mod tests {
                         .arrival(SimTime::from_secs_f64(0.0001 * i as f64)),
                 );
             }
-            s.run()
+            s.run().unwrap()
         };
         let r1 = build();
         let r2 = build();
@@ -1419,7 +1443,7 @@ mod tests {
                 .priority(Priority::Interactive)
                 .arrival(SimTime::from_secs_f64(0.01)),
         );
-        let report = sched.run();
+        let report = sched.run().unwrap();
         // The interactive job ran *before* the batch hog drained...
         let vip_admit = report.job(vip).admitted_at.unwrap();
         let hog_finish = report.job(hog).finished_at.unwrap();
@@ -1465,7 +1489,7 @@ mod tests {
                         .arrival(SimTime::from_secs_f64(0.001 * i as f64)),
                 );
             }
-            s.run()
+            s.run().unwrap()
         };
         let off = build(false);
         let on = build(true);
@@ -1485,7 +1509,7 @@ mod tests {
         // Arrives after the shrink: 0.8 of DRAM no longer feasible.
         let b = sched.submit(small_job("b", &tree, 0.8, 2).arrival(SimTime::from_secs_f64(0.2)));
         sched.resize_budgets(SimTime::from_secs_f64(0.01), full.scaled(0.5));
-        let report = sched.run();
+        let report = sched.run().unwrap();
         assert_eq!(report.job(a).state, JobState::Done, "drain lets a finish");
         assert_eq!(
             report.job(b).state,
@@ -1512,7 +1536,7 @@ mod tests {
         let a = sched.submit(small_job("a", &tree, 0.4, 12));
         let shrink_at = SimTime::from_secs_f64(0.05);
         sched.resize_budgets(shrink_at, full.scaled(0.25));
-        let report = sched.run();
+        let report = sched.run().unwrap();
         // a (0.4 of DRAM) exceeds the 0.25 budget: evicted at a boundary,
         // then rejected on re-admission (its reservation is infeasible) —
         // unless it was already infeasible-queued at resize time.
@@ -1562,7 +1586,7 @@ mod tests {
             };
             s.submit(mk("q1"));
             s.submit(mk("q2"));
-            s.run()
+            s.run().unwrap()
         };
         let free = build(None);
         let quota = build(Some(TenantQuota::new(

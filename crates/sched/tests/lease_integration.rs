@@ -18,7 +18,7 @@ fn admitted_lease_bounds_ctx_alloc() {
         Reservation::new().with(dram, 64 << 20),
         JobWork::new(1).read(1 << 20).xfer(1 << 20),
     ));
-    let report = sched.run();
+    let report = sched.run().unwrap();
     assert_eq!(report.job(id).state, JobState::Done);
     let lease = report.job(id).lease().expect("admitted job has a lease");
 
@@ -71,7 +71,7 @@ fn unadmitted_jobs_have_no_lease() {
         Reservation::new().with(dram, too_big),
         JobWork::new(1),
     ));
-    let report = sched.run();
+    let report = sched.run().unwrap();
     assert_eq!(report.job(id).state, JobState::Rejected);
     assert!(report.job(id).lease().is_none());
 }

@@ -84,7 +84,7 @@ fn build(
         );
     }
     Scenario {
-        report: sched.run(),
+        report: sched.run().unwrap(),
         chunks_declared,
     }
 }

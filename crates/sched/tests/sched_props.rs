@@ -50,7 +50,7 @@ fn build(trace: &[JobTuple], policy: AdmissionPolicy, max_queue: usize) -> Sched
         }
         sched.submit(spec);
     }
-    sched.run()
+    sched.run().unwrap()
 }
 
 proptest! {

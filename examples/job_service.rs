@@ -34,7 +34,8 @@ fn main() {
     };
 
     for policy in [AdmissionPolicy::WeightedFair, AdmissionPolicy::Fifo] {
-        let report = run_service(&tree, synthetic_trace(&tree, &cfg), policy);
+        let report =
+            run_service(&tree, synthetic_trace(&tree, &cfg), policy).expect("service replay");
         println!("{policy:?}: {}", report.summary());
 
         if policy == AdmissionPolicy::WeightedFair {
@@ -76,7 +77,8 @@ fn main() {
             preempt: true,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("preemption replay");
     println!("Preemption at paper scale: {}", preempt.summary());
     println!(
         "  mean eviction latency: {:.3} ms\n",
