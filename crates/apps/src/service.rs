@@ -23,14 +23,15 @@ use crate::calibration::GEMM_RING;
 use northup::Tree;
 use northup_exec::{CancelToken, ThreadPool};
 use northup_sched::{
-    build_chain, staging_reservation, AdmissionPolicy, Fabric, JobId, JobScheduler, JobSpec,
-    JobWork, Priority, RealFabric, SchedError, SchedReport, SchedulerConfig, TenantId,
+    build_chain, staging_reservation, AdmissionPolicy, Fabric, FaultPlan, JobId, JobScheduler,
+    JobSpec, JobWork, Priority, RealFabric, SchedError, SchedReport, SchedulerConfig, TenantId,
 };
 use northup_sim::{SimDur, SimTime};
 use rand::{Rng, SeedableRng, StdRng};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The application mix a service-trace job can be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,6 +380,9 @@ pub struct RealJobRun {
     /// The fabric's commutative checksum over every staged byte —
     /// deterministic for a given chunk set regardless of thread count.
     pub checksum: u64,
+    /// Chunk attempts retried after an injected device fault (always 0
+    /// without a fault plan).
+    pub retries: u32,
 }
 
 /// Result of [`run_service_real`]: the modeled schedule plus the
@@ -406,8 +410,62 @@ pub fn run_service_real(
     policy: AdmissionPolicy,
     threads: usize,
 ) -> Result<ServiceRealRun, SchedError> {
+    run_real_inner(
+        tree,
+        trace,
+        SchedulerConfig {
+            policy,
+            ..SchedulerConfig::default()
+        },
+        threads,
+        None,
+    )
+}
+
+/// [`run_service_real`] under a deterministic chaos plan: the same
+/// [`FaultPlan`] drives the modeled replay (seeded stage faults, retry
+/// backoff, quarantine — all in virtual time) **and** the real execution
+/// (every job's [`RealFabric`] arena wires fault injectors into its
+/// staging backends; chunks are driven through
+/// `ThreadPool::run_chain_with_retry` with real, cancellation-aware
+/// backoff sleeps). Chunk bodies are transactional, so a retried chunk
+/// applies its side effects exactly once and the per-job checksums equal
+/// a fault-free run's. Same tree + trace + plan ⇒ bit-identical report,
+/// checksums, and retry counts.
+pub fn run_service_real_chaos(
+    tree: &Tree,
+    trace: Vec<JobSpec>,
+    policy: AdmissionPolicy,
+    threads: usize,
+    plan: FaultPlan,
+) -> Result<ServiceRealRun, SchedError> {
+    run_real_inner(
+        tree,
+        trace,
+        SchedulerConfig {
+            policy,
+            fault_plan: Some(plan.clone()),
+            ..SchedulerConfig::default()
+        },
+        threads,
+        Some(plan),
+    )
+}
+
+/// Real backoff sleeps are capped so chaos test runs stay fast; the
+/// modeled replay charges the uncapped virtual-time backoff.
+const REAL_BACKOFF_CAP: Duration = Duration::from_millis(5);
+
+fn run_real_inner(
+    tree: &Tree,
+    trace: Vec<JobSpec>,
+    cfg: SchedulerConfig,
+    threads: usize,
+    plan: Option<FaultPlan>,
+) -> Result<ServiceRealRun, SchedError> {
+    let retry = cfg.retry;
     let specs = trace.clone();
-    let report = run_service(tree, trace, policy)?;
+    let report = run_service_with(tree, trace, cfg)?;
     let pool = Arc::new(ThreadPool::new(threads));
     let mut jobs = Vec::new();
     for (outcome, spec) in report.jobs.iter().zip(&specs) {
@@ -416,41 +474,63 @@ pub fn run_service_real(
             continue;
         }
         let chain = build_chain(tree, leaf, spec.work.chunk_work(), spec.work.chunks);
+        let staging = chain.staging_node(tree);
         let per_chunk = spec
             .work
             .read_bytes
             .max(spec.work.xfer_bytes)
             .max(spec.work.write_bytes)
             .max(4 << 10);
-        let mut fab = RealFabric::new(tree, Arc::clone(&pool), per_chunk * 2)?;
+        let mut fab = match &plan {
+            Some(p) => RealFabric::with_faults(tree, Arc::clone(&pool), per_chunk * 2, p.clone())?,
+            None => RealFabric::new(tree, Arc::clone(&pool), per_chunk * 2)?,
+        };
         if let Some(lease) = outcome.lease() {
             fab.install_lease(lease);
         }
         let token = CancelToken::new();
         let mut t = SimTime::ZERO;
         let mut failure = None;
-        let done = pool.run_chain(0, outcome.chunks_done, &token, |i| {
-            match fab.run_chunk(&chain, i, t) {
-                Ok(end) => {
-                    t = end;
-                    true
+        let max_attempts = if plan.is_some() {
+            retry.max_attempts
+        } else {
+            1
+        };
+        let backoff = |chunk: u32, attempt: u32| -> Duration {
+            let jitter = plan
+                .as_ref()
+                .map(|p| p.jitter(staging, u64::from(chunk), attempt))
+                .unwrap_or(0.0);
+            Duration::from_secs_f64(retry.backoff(attempt, jitter).as_secs_f64())
+                .min(REAL_BACKOFF_CAP)
+        };
+        let stats =
+            pool.run_chain_with_retry(0, outcome.chunks_done, &token, max_attempts, backoff, |i| {
+                match fab.run_chunk(&chain, i, t) {
+                    Ok(end) => {
+                        t = end;
+                        failure = None;
+                        true
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        false
+                    }
                 }
-                Err(e) => {
-                    failure = Some(e);
-                    false
-                }
+            });
+        if stats.gave_up || stats.completed < outcome.chunks_done {
+            if let Some(e) = failure {
+                return Err(e.into());
             }
-        });
-        if let Some(e) = failure {
-            return Err(e.into());
         }
-        debug_assert_eq!(done, outcome.chunks_done);
+        debug_assert_eq!(stats.completed, outcome.chunks_done);
         jobs.push(RealJobRun {
             id: outcome.id,
             name: outcome.name.clone(),
             tenant: outcome.tenant,
-            chunks_run: done,
+            chunks_run: stats.completed,
             checksum: fab.checksum(),
+            retries: stats.retries,
         });
     }
     Ok(ServiceRealRun {
@@ -660,6 +740,62 @@ mod tests {
             assert_eq!(real.chunks_run, out.chunks_done, "{}", out.name);
             assert_ne!(real.checksum, 0, "{} streamed real bytes", out.name);
             assert_eq!(real.tenant, out.tenant);
+        }
+    }
+
+    #[test]
+    fn chaos_service_retries_transparently_to_the_clean_checksums() {
+        let tree = tree();
+        let cfg = TraceConfig {
+            jobs: 9,
+            seed: 3,
+            scale: 64,
+            ..TraceConfig::default()
+        };
+        let clean = run_service_real(
+            &tree,
+            synthetic_trace(&tree, &cfg),
+            AdmissionPolicy::Fifo,
+            2,
+        )
+        .unwrap();
+        let chaos = || {
+            run_service_real_chaos(
+                &tree,
+                synthetic_trace(&tree, &cfg),
+                AdmissionPolicy::Fifo,
+                2,
+                FaultPlan::new(13).transient_rate(8192),
+            )
+            .unwrap()
+        };
+        let run = chaos();
+        assert!(run.report.all_terminal());
+        assert!(
+            !run.report.fault_log.is_empty(),
+            "the modeled replay sees the plan's stage faults"
+        );
+        let retries: u32 = run.jobs.iter().map(|j| j.retries).sum();
+        assert!(retries > 0, "the real arenas see injected device faults");
+        // Retried chunks commit exactly once: every job that completed in
+        // both runs streams byte-identical data.
+        for r in &run.jobs {
+            if let Some(c) = clean.jobs.iter().find(|c| c.id == r.id) {
+                if c.chunks_run == r.chunks_run {
+                    assert_eq!(c.checksum, r.checksum, "{}", r.name);
+                }
+            }
+        }
+        // Same trace + plan ⇒ the whole chaos run reproduces bit for bit.
+        let again = chaos();
+        assert_eq!(format!("{:?}", run.report), format!("{:?}", again.report));
+        for (a, b) in run.jobs.iter().zip(again.jobs.iter()) {
+            assert_eq!(
+                (a.checksum, a.retries),
+                (b.checksum, b.retries),
+                "{}",
+                a.name
+            );
         }
     }
 

@@ -1,0 +1,129 @@
+//! CI chaos gate: run the fixed-seed fault scenarios, print the fault
+//! accounting, and emit it as a JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p northup-bench --bin chaos_report             # print only
+//! cargo run --release -p northup-bench --bin chaos_report -- out.json # + artifact
+//! ```
+//!
+//! Exit code is non-zero when the acceptance criteria fail: the
+//! transient scenario must recover every job to `Done`, the persistent
+//! scenario must quarantine its target node and still complete every
+//! job the surviving budget admits, and both must replay bit-identically
+//! under the same seed (DESIGN.md §10).
+
+use northup_bench::{chaos_accounting, ChaosSummary};
+
+fn main() {
+    let out = std::env::args().nth(1);
+    let rows = chaos_accounting();
+
+    println!("== seeded chaos: fault accounting ==");
+    println!(
+        "{:<22} {:>5} {:>5} {:>7} {:>7} {:>8} {:>10} {:>9} {:>10} {:>7}",
+        "scenario",
+        "jobs",
+        "done",
+        "faults",
+        "retries",
+        "backoff",
+        "recovered",
+        "reroutes",
+        "fenced",
+        "replay"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>5} {:>5} {:>7} {:>7} {:>7.4}s {:>10} {:>9} {:>10} {:>7}",
+            r.scenario,
+            r.jobs,
+            r.done,
+            r.faults,
+            r.retries,
+            r.backoff_s,
+            r.recovered,
+            r.reroutes,
+            format!("{:?}", r.quarantined),
+            if r.replay_identical { "exact" } else { "DRIFT" },
+        );
+    }
+
+    if let Some(path) = &out {
+        std::fs::write(path, to_json(&rows)).unwrap_or_else(|e| {
+            eprintln!("chaos_report: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.replay_identical {
+            failures.push(format!(
+                "{}: report drifted between same-seed runs",
+                r.scenario
+            ));
+        }
+        if r.faults == 0 {
+            failures.push(format!("{}: plan injected nothing", r.scenario));
+        }
+    }
+    let transient = &rows[0];
+    if transient.done != transient.jobs || transient.recovered == 0 {
+        failures.push(format!(
+            "transient-recovery: {}/{} done, {} recovered — expected full recovery",
+            transient.done, transient.jobs, transient.recovered
+        ));
+    }
+    let persistent = &rows[1];
+    if persistent.quarantined.is_empty() {
+        failures.push("persistent-quarantine: no node was fenced".to_string());
+    }
+    if persistent.done != persistent.jobs {
+        failures.push(format!(
+            "persistent-quarantine: {}/{} done — free jobs must finish on survivors",
+            persistent.done, persistent.jobs
+        ));
+    }
+    if failures.is_empty() {
+        println!("chaos gate: OK");
+    } else {
+        for f in &failures {
+            eprintln!("chaos gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (no serde_json in the tree); field set mirrors
+/// [`ChaosSummary`].
+fn to_json(rows: &[ChaosSummary]) -> String {
+    let mut s = String::from("{\n  \"scenarios\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"seed\": {}, \"jobs\": {}, \"done\": {}, \
+             \"failed\": {}, \"rejected\": {}, \"faults\": {}, \"retries\": {}, \
+             \"backoff_s\": {:.9}, \"reroutes\": {}, \"recovered\": {}, \
+             \"quarantined\": {:?}, \"makespan_s\": {:.9}, \"replay_identical\": {}}}",
+            r.scenario,
+            r.seed,
+            r.jobs,
+            r.done,
+            r.failed,
+            r.rejected,
+            r.faults,
+            r.retries,
+            r.backoff_s,
+            r.reroutes,
+            r.recovered,
+            r.quarantined,
+            r.makespan_s,
+            r.replay_identical
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}

@@ -24,7 +24,10 @@ use northup_apps::{
 };
 use northup_apps::{run_service, run_service_with, synthetic_trace, TraceConfig};
 use northup_hw::{catalog, DeviceSpec};
-use northup_sched::{AdmissionPolicy, JobScheduler, NodeBudgets, ResizeDrain, SchedulerConfig};
+use northup_sched::{
+    AdmissionPolicy, FaultPlan, JobScheduler, JobSpec, JobState, JobWork, NodeBudgets, Reservation,
+    ResizeDrain, SchedulerConfig,
+};
 use northup_sim::{Category, SimDur, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -498,6 +501,19 @@ pub struct ServiceRow {
     /// Completed jobs per virtual second through a mid-trace budget
     /// shrink-and-restore (`resize_budgets`, drain = `Preempt`).
     pub resize_throughput: f64,
+    /// Completed jobs per virtual second under the seeded chaos plan
+    /// (deterministic transient device faults + retry/backoff).
+    pub chaos_throughput: f64,
+    /// Stage faults the chaos plan injected across the trace.
+    pub chaos_faults: usize,
+    /// Bounded-backoff retries the scheduler performed recovering them.
+    pub chaos_retries: u64,
+    /// Virtual time spent in retry backoff (s).
+    pub chaos_backoff_s: f64,
+    /// Jobs that hit at least one fault and still completed.
+    pub chaos_recovered: usize,
+    /// Jobs the chaos run failed outright (retry budget exhausted).
+    pub chaos_failed: usize,
 }
 
 /// Sweep offered load for a 32-job mixed trace on the two-level APU:
@@ -559,6 +575,19 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 sched.resize_budgets(SimTime::from_secs_f64(span_s * 0.75), full);
                 sched.run().expect("resize service run")
             };
+            // Chaos: the same trace under a seeded transient-fault plan
+            // (~3% per stage booking); retries and backoff are charged in
+            // virtual time, so fault tolerance shows up as a throughput
+            // delta against the fault-free fair run.
+            let chaos = run_service_with(
+                &tree,
+                synthetic_trace(&tree, &cfg),
+                SchedulerConfig {
+                    fault_plan: Some(FaultPlan::new(29).transient_rate(2_000)),
+                    ..SchedulerConfig::default()
+                },
+            )
+            .expect("chaos service run");
             ServiceRow {
                 mean_gap_us: gap,
                 fair_throughput: fair.throughput,
@@ -569,9 +598,131 @@ pub fn service_scenario() -> Vec<ServiceRow> {
                 preemptions: preempt.total_preemptions(),
                 preempt_latency_s: preempt.mean_preemption_latency().as_secs_f64(),
                 resize_throughput: resized.throughput,
+                chaos_throughput: chaos.throughput,
+                chaos_faults: chaos.fault_log.len(),
+                chaos_retries: chaos.total_retries(),
+                chaos_backoff_s: chaos.total_backoff().as_secs_f64(),
+                chaos_recovered: chaos.jobs_recovered(),
+                chaos_failed: chaos.count(JobState::Failed),
             }
         })
         .collect()
+}
+
+/// Fault accounting for one seeded chaos scenario (the CI `chaos` step's
+/// artifact row; see DESIGN.md §10).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Scenario name (`transient-recovery` / `persistent-quarantine`).
+    pub scenario: String,
+    /// Fault-plan seed (fixed — the run must replay bit-identically).
+    pub seed: u64,
+    /// Jobs submitted / completed / failed / rejected.
+    pub jobs: usize,
+    /// Jobs that reached `Done`.
+    pub done: usize,
+    /// Jobs that reached `Failed`.
+    pub failed: usize,
+    /// Jobs rejected at admission (infeasible after quarantine).
+    pub rejected: usize,
+    /// Stage faults injected (transient + persistent).
+    pub faults: usize,
+    /// Bounded-backoff retries performed.
+    pub retries: u64,
+    /// Virtual time spent backing off (s).
+    pub backoff_s: f64,
+    /// Fault-driven chain re-routes onto surviving leaves.
+    pub reroutes: u64,
+    /// Jobs that observed at least one fault and still finished `Done`.
+    pub recovered: usize,
+    /// Nodes fenced by quarantine (raw ids).
+    pub quarantined: Vec<usize>,
+    /// Trace makespan in virtual seconds.
+    pub makespan_s: f64,
+    /// Whether a second same-seed run reproduced the report bit for bit.
+    pub replay_identical: bool,
+}
+
+/// The two fixed-seed chaos scenarios behind the CI `chaos` gate:
+///
+/// 1. **transient-recovery** — a transient-only plan over the two-level
+///    APU; every job must recover to `Done` through retry/backoff alone.
+/// 2. **persistent-quarantine** — a persistent plan scoped to the Fig. 2
+///    DRAM leaf; the node must be fenced and the whole trace must still
+///    complete on the surviving subtrees.
+///
+/// Each scenario runs twice and records whether the `SchedReport`
+/// reproduced bit-identically (`replay_identical`) — the consumer (the
+/// `chaos_report` binary, and CI through it) fails if it did not.
+pub fn chaos_accounting() -> Vec<ChaosSummary> {
+    let job = |name: String, chunks: u32| {
+        JobSpec::new(
+            name,
+            Reservation::new(),
+            JobWork::new(chunks)
+                .read(16 << 20)
+                .xfer(16 << 20)
+                .compute(SimDur::from_millis(1))
+                .write(4 << 20),
+        )
+    };
+    let transient = || {
+        let tree = presets::apu_two_level(catalog::ssd_hyperx_predator());
+        let mut sched = JobScheduler::new(
+            tree,
+            SchedulerConfig {
+                fault_plan: Some(FaultPlan::new(42).transient_rate(3_000)),
+                ..SchedulerConfig::default()
+            },
+        );
+        for i in 0..12 {
+            sched.submit(job(format!("t{i}"), 4));
+        }
+        sched.run().expect("transient chaos run")
+    };
+    let persistent = || {
+        let tree = presets::asymmetric_fig2();
+        let mut sched = JobScheduler::new(
+            tree,
+            SchedulerConfig {
+                fault_plan: Some(
+                    FaultPlan::new(7)
+                        .persistent_rate(65_536)
+                        .on_nodes([northup::NodeId(1)]),
+                ),
+                quarantine_after: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        for i in 0..8 {
+            sched.submit(job(format!("p{i}"), 3));
+        }
+        sched.run().expect("persistent chaos run")
+    };
+    let summarize = |scenario: &str, seed: u64, run: &dyn Fn() -> northup_sched::SchedReport| {
+        let a = run();
+        let b = run();
+        ChaosSummary {
+            scenario: scenario.to_string(),
+            seed,
+            jobs: a.jobs.len(),
+            done: a.count(JobState::Done),
+            failed: a.count(JobState::Failed),
+            rejected: a.count(JobState::Rejected),
+            faults: a.fault_log.len(),
+            retries: a.total_retries(),
+            backoff_s: a.total_backoff().as_secs_f64(),
+            reroutes: a.jobs.iter().map(|j| u64::from(j.fault.reroutes)).sum(),
+            recovered: a.jobs_recovered(),
+            quarantined: a.quarantined_nodes().iter().map(|n| n.0).collect(),
+            makespan_s: a.makespan.as_secs_f64(),
+            replay_identical: format!("{a:?}") == format!("{b:?}"),
+        }
+    };
+    vec![
+        summarize("transient-recovery", 42, &transient),
+        summarize("persistent-quarantine", 7, &persistent),
+    ]
 }
 
 #[cfg(test)]
@@ -718,7 +869,15 @@ mod tests {
             assert!(r.p99_latency_s >= r.p50_latency_s);
             assert!(r.resize_throughput > 0.0, "{r:?}");
             assert!(r.preempt_latency_s >= 0.0);
+            assert!(r.chaos_throughput > 0.0, "{r:?}");
+            assert!(r.chaos_backoff_s >= 0.0);
         }
+        // The chaos series must actually inject and recover somewhere.
+        assert!(
+            rows.iter()
+                .any(|r| r.chaos_faults > 0 && r.chaos_recovered > 0),
+            "chaos series never faulted: {rows:?}"
+        );
         // At the highest offered load the contended trace must actually
         // exercise chunk-boundary eviction.
         assert!(

@@ -85,6 +85,20 @@ pub enum Stage {
     WriteBack,
 }
 
+impl Stage {
+    /// The tree node whose device serves this stage (`root` for the
+    /// root-storage stages). This is the failure domain of the stage:
+    /// fault plans key their decisions on it, and quarantining it fences
+    /// every stage it would serve.
+    pub fn node(&self, root: NodeId) -> NodeId {
+        match self {
+            Stage::Read | Stage::WriteBack => root,
+            Stage::LinkDown(hop) | Stage::LinkUp(hop) => *hop,
+            Stage::Compute(leaf) => *leaf,
+        }
+    }
+}
+
 /// What one stage costs: bytes for transfer stages, time for compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageCost {
@@ -377,6 +391,28 @@ mod tests {
         let staging = chain.staging_node(&tree);
         // On the two-level APU preset the leaf hangs directly off the root.
         assert_eq!(tree.parent(staging), Some(tree.root()));
+        Ok(())
+    }
+
+    #[test]
+    fn stage_nodes_name_their_failure_domain() -> Result<(), crate::TopologyError> {
+        let tree = tree();
+        let leaf = tree.first_leaf()?.id;
+        let root = tree.root();
+        let work = ChunkWork::new()
+            .read(8)
+            .xfer(8)
+            .compute(SimDur::from_micros(1))
+            .write(8);
+        let chain = build_chain(&tree, leaf, work, 1);
+        for cs in &chain.stages {
+            let n = cs.stage.node(root);
+            match cs.stage {
+                Stage::Read | Stage::WriteBack => assert_eq!(n, root),
+                Stage::Compute(l) => assert_eq!(n, l),
+                Stage::LinkDown(h) | Stage::LinkUp(h) => assert_eq!(n, h),
+            }
+        }
         Ok(())
     }
 

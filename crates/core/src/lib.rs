@@ -61,6 +61,7 @@ pub mod dag;
 pub mod data;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod lease;
 pub mod pipeline;
 pub mod plan;
@@ -79,6 +80,7 @@ pub use fabric::{
     build_chain, ChainStage, Checkpoint, ChunkChain, ChunkWork, Fabric, FabricError, Stage,
     StageCost,
 };
+pub use fault::{FaultKind, FaultPlan, RetryPolicy};
 pub use lease::CapacityLease;
 pub use pipeline::ChunkPipeline;
 pub use plan::{plan_blocks, pow2_candidates, BlockPlan, DEFAULT_HEADROOM};

@@ -24,6 +24,6 @@ pub mod chain;
 pub mod deque;
 pub mod pool;
 
-pub use chain::CancelToken;
+pub use chain::{CancelToken, ChainRunStats};
 pub use deque::{deque, Steal, Stealer, Worker};
 pub use pool::{Scope, ThreadPool};

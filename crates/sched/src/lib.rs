@@ -34,6 +34,17 @@
 //!   [`SchedReport`] (makespan, throughput, p50/p99 latency, rejection
 //!   rate, preemption latencies, and per-node capacity audit trails).
 //!
+//! The scheduler is also **fault-tolerant** (DESIGN.md §10): a seeded
+//! [`FaultPlan`] deterministically injects transient and persistent
+//! stage faults, a [`RetryPolicy`] retries with exponential backoff
+//! charged in virtual time, nodes that keep failing are quarantined
+//! (budget zeroed, in-flight chains re-routed to surviving leaves from
+//! their checkpoints, infeasible queued jobs rejected), and every
+//! injection/retry/fence lands in the report's `fault_log`,
+//! `quarantine_log`, and per-job [`FaultOutcome`]. The same plan drives
+//! [`RealFabric::with_faults`] so real-thread chaos runs replay the
+//! modeled fault pattern on actual storage backends.
+//!
 //! ## Example
 //!
 //! ```
@@ -72,8 +83,10 @@ pub use real::RealFabric;
 pub use reserve::{NodeBudgets, Reservation, TenantQuota};
 pub use scheduler::{
     staging_reservation, AdmissionEvent, AdmissionEventKind, AdmissionPolicy, CapacitySample,
-    ChunkSample, JobOutcome, JobScheduler, ResizeDrain, ResizeSample, SchedReport, SchedulerConfig,
+    ChunkSample, FaultOutcome, FaultSample, JobOutcome, JobScheduler, QuarantineSample,
+    ResizeDrain, ResizeSample, SchedReport, SchedulerConfig,
 };
-// Re-export the shared IR so scheduler users need not depend on
-// `northup` directly for chain types.
+// Re-export the shared IR (and the failure-domain vocabulary) so
+// scheduler users need not depend on `northup` directly.
 pub use northup::fabric::{build_chain, Checkpoint, ChunkChain, ChunkWork, Fabric};
+pub use northup::fault::{FaultKind, FaultPlan, RetryPolicy};

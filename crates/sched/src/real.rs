@@ -21,9 +21,12 @@
 //! are never re-run.
 
 use northup::fabric::{ChunkChain, Fabric, FabricError};
+use northup::fault::FaultPlan;
 use northup::lease::CapacityLease;
-use northup::{ExecMode, NodeId, Result, Runtime, Tree};
+use northup::runtime::SetupCosts;
+use northup::{BufferHandle, ExecMode, NodeId, Result, Runtime, Tree};
 use northup_exec::ThreadPool;
+use northup_hw::{FaultOps, FaultyBackend, HeapBackend, StorageBackend};
 use northup_sim::SimTime;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,6 +39,12 @@ pub struct RealFabric {
     file: northup::BufferHandle,
     file_bytes: u64,
     checksum: u64,
+    /// Deterministic device-fault wiring; `None` runs on pristine backends.
+    plan: Option<FaultPlan>,
+    /// How many arenas this fabric has built (bumped by `reset`). Seeds
+    /// the fault-phase offset of rebuilt backends so a reset continues —
+    /// rather than replays — the fault stream.
+    epoch: u64,
 }
 
 impl RealFabric {
@@ -45,9 +54,80 @@ impl RealFabric {
     /// job's lease with [`install_lease`](Self::install_lease) *after*
     /// construction so the shared input file is not charged to the job.
     pub fn new(tree: &Tree, pool: Arc<ThreadPool>, file_bytes: u64) -> Result<Self> {
-        let rt = Runtime::new(tree.clone(), ExecMode::Real)?;
+        Self::build(tree, pool, file_bytes, None)
+    }
+
+    /// Like [`new`](Self::new), but every non-root node targeted by
+    /// `plan` gets its storage backend wrapped in a deterministic fault
+    /// injector ([`FaultyBackend`]): the node fails every `n`-th
+    /// read/write, with `n` derived from the plan's transient rate
+    /// ([`FaultPlan::real_fail_every`]). The root is exempt — the shared
+    /// dataset must stay intact for chunks to be retryable; root-storage
+    /// faults are exercised by the modeled fabric instead. Two fabrics
+    /// built from the same plan fail on identical operation ordinals, so
+    /// chaos runs are reproducible bit for bit.
+    pub fn with_faults(
+        tree: &Tree,
+        pool: Arc<ThreadPool>,
+        file_bytes: u64,
+        plan: FaultPlan,
+    ) -> Result<Self> {
+        Self::build(tree, pool, file_bytes, Some(plan))
+    }
+
+    fn build(
+        tree: &Tree,
+        pool: Arc<ThreadPool>,
+        file_bytes: u64,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self> {
         let file_bytes = file_bytes.max(1);
-        let file = rt.alloc(file_bytes, tree.root())?;
+        let (rt, file) = Self::build_arena(tree, file_bytes, plan.as_ref(), 0)?;
+        Ok(RealFabric {
+            tree: tree.clone(),
+            rt,
+            pool,
+            file,
+            file_bytes,
+            checksum: 0,
+            plan,
+            epoch: 0,
+        })
+    }
+
+    /// Construct one execution arena: a real-mode runtime (with fault
+    /// injectors wired per `plan`) and the filled root dataset buffer.
+    /// `epoch` pre-advances every injector's operation counter so each
+    /// rebuild continues the fault phase deterministically instead of
+    /// restarting it.
+    fn build_arena(
+        tree: &Tree,
+        file_bytes: u64,
+        plan: Option<&FaultPlan>,
+        epoch: u64,
+    ) -> Result<(Runtime, BufferHandle)> {
+        let root = tree.root();
+        let factory = move |node: &northup::Node| -> Option<Box<dyn StorageBackend>> {
+            let plan = plan?;
+            if node.id == root {
+                return None;
+            }
+            let fail_every = plan.real_fail_every(node.id)?;
+            Some(Box::new(FaultyBackend::starting_at(
+                HeapBackend::new(&node.mem.name, node.mem.capacity),
+                FaultOps::ReadsAndWrites,
+                fail_every,
+                epoch,
+            )))
+        };
+        let rt = Runtime::with_custom_backends(
+            tree.clone(),
+            ExecMode::Real,
+            SetupCosts::default(),
+            &factory,
+        )?;
+        // analyze:allow(lease-discipline): the handle escapes to the caller inside the returned (Runtime, BufferHandle) arena tuple; RealFabric owns and releases it
+        let file = rt.alloc(file_bytes, root)?;
         // Deterministic non-trivial content, written in bounded strips.
         let mut off = 0u64;
         let strip = 1u64 << 16;
@@ -60,14 +140,7 @@ impl RealFabric {
             rt.write_slice(file, off, &buf[..n])?;
             off += n as u64;
         }
-        Ok(RealFabric {
-            tree: tree.clone(),
-            rt,
-            pool,
-            file,
-            file_bytes,
-            checksum: 0,
-        })
+        Ok((rt, file))
     }
 
     /// Install the job's capacity lease on the underlying runtime, so
@@ -90,34 +163,35 @@ impl RealFabric {
         self.checksum
     }
 
+    /// The fault plan wired into this fabric's backends, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// How many times this fabric has rebuilt its arena via
+    /// [`reset`](Fabric::reset).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn leaf_proc(&self, leaf: NodeId) -> Option<northup::ProcKind> {
         self.tree.node(leaf).procs.first().map(|p| p.kind)
     }
-}
 
-impl Fabric for RealFabric {
-    /// Perform one chunk for real: allocate the staging buffer under the
-    /// lease, move the chunk's bytes down from the root file, run the
-    /// checksum kernel over the staged bytes on the pool, move the
-    /// write-back bytes up, release the buffer. Returns the runtime's
-    /// virtual completion (its charged makespan), which is monotone
-    /// across chunks.
-    fn run_chunk(
+    /// All of a chunk's data movement and kernel work, excluding staging
+    /// alloc/release. The checksum commit is the *last* statement: a
+    /// failed attempt (injected device fault, lease breach) leaves no
+    /// visible side effect, so re-running the chunk after a fault applies
+    /// its effects exactly once.
+    fn chunk_body(
         &mut self,
         chain: &ChunkChain,
         idx: u32,
-        ready: SimTime,
-    ) -> std::result::Result<SimTime, FabricError> {
+        buf: Option<BufferHandle>,
+    ) -> Result<()> {
         let work = chain.work;
         let stage_bytes = work.xfer_bytes.max(work.write_bytes);
-        let staging = chain.staging_node(&self.tree);
-
-        let buf = if stage_bytes > 0 {
-            Some(self.rt.alloc(stage_bytes, staging)?)
-        } else {
-            None
-        };
-
+        let mut chunk_sum = 0u64;
         if let Some(buf) = buf {
             if work.read_bytes > 0 || work.xfer_bytes > 0 {
                 // Root read + link staging in one runtime move; chunks
@@ -142,7 +216,7 @@ impl Fabric for RealFabric {
                     }
                     acc.fetch_add(s, Ordering::Relaxed);
                 });
-                self.checksum = self.checksum.wrapping_add(acc.into_inner());
+                chunk_sum = acc.into_inner();
             }
             if work.compute > northup_sim::SimDur::ZERO {
                 if let Some(kind) = self.leaf_proc(chain.leaf) {
@@ -151,29 +225,84 @@ impl Fabric for RealFabric {
                 }
             }
             if work.write_bytes > 0 {
+                // Write-back lands at a fixed offset with deterministic
+                // content, so a retried chunk re-applies identical bytes.
                 let n = work.write_bytes.min(stage_bytes).min(self.file_bytes);
                 self.rt.move_data(self.file, 0, buf, 0, n)?;
             }
-            self.rt.release(buf)?;
         } else if work.compute > northup_sim::SimDur::ZERO {
             if let Some(kind) = self.leaf_proc(chain.leaf) {
                 self.rt
                     .charge_compute(chain.leaf, kind, work.compute, &[], &[], "chunk")?;
             }
         }
+        self.checksum = self.checksum.wrapping_add(chunk_sum);
+        Ok(())
+    }
+}
+
+impl Fabric for RealFabric {
+    /// Perform one chunk for real: allocate the staging buffer under the
+    /// lease, move the chunk's bytes down from the root file, run the
+    /// checksum kernel over the staged bytes on the pool, move the
+    /// write-back bytes up, release the buffer. Returns the runtime's
+    /// virtual completion (its charged makespan), which is monotone
+    /// across chunks.
+    ///
+    /// The chunk is **transactional** under faults: the staging buffer is
+    /// released on the error path too (a faulted chunk never leaks lease
+    /// bytes, so the retry's alloc sees the full reservation) and the
+    /// checksum commits only when every stage succeeded — retrying a
+    /// failed chunk applies its side effects exactly once.
+    fn run_chunk(
+        &mut self,
+        chain: &ChunkChain,
+        idx: u32,
+        ready: SimTime,
+    ) -> std::result::Result<SimTime, FabricError> {
+        let work = chain.work;
+        let stage_bytes = work.xfer_bytes.max(work.write_bytes);
+        let staging = chain.staging_node(&self.tree);
+
+        let buf = if stage_bytes > 0 {
+            Some(self.rt.alloc(stage_bytes, staging)?)
+        } else {
+            None
+        };
+
+        let body = self.chunk_body(chain, idx, buf);
+        if let Some(buf) = buf {
+            let released = self.rt.release(buf);
+            body?; // the chunk's own fault takes precedence...
+            released?; // ...but a clean chunk still reports release errors
+        } else {
+            body?;
+        }
 
         let end = SimTime::ZERO + self.rt.makespan();
         Ok(end.max(ready))
     }
 
-    /// Rebuild the runtime (fresh timeline, fresh file pattern) and clear
-    /// the checksum.
+    /// Rebuild the execution arena: fresh runtime timeline, fresh file
+    /// pattern, cleared checksum, fault-injection phase advanced to the
+    /// next epoch. The installed capacity lease carries over — a reset
+    /// fabric still meters the same admitted reservation.
+    ///
+    /// Strongly exception-safe and idempotent: the replacement arena is
+    /// fully built *before* any of `self` is touched, so a failed reset
+    /// (e.g. the file refill trips an injected fault) leaves the previous
+    /// arena intact and the reset can simply be retried.
     fn reset(&mut self) -> std::result::Result<(), FabricError> {
-        let fresh = RealFabric::new(&self.tree, Arc::clone(&self.pool), self.file_bytes)
+        let epoch = self.epoch + 1;
+        let (rt, file) = Self::build_arena(&self.tree, self.file_bytes, self.plan.as_ref(), epoch)
             .map_err(FabricError::Reset)?;
-        self.rt = fresh.rt;
-        self.file = fresh.file;
+        if let Some(lease) = self.rt.lease() {
+            rt.install_lease(lease);
+        }
+        self.rt = rt;
+        self.file = file;
         self.checksum = 0;
+        self.epoch = epoch;
         Ok(())
     }
 }
@@ -317,8 +446,119 @@ mod tests {
         let c1 = fab.checksum();
         fab.reset().unwrap();
         assert_eq!(fab.checksum(), 0);
+        assert_eq!(fab.epoch(), 1);
         let t2 = fab.run_chunk(&ch, 0, SimTime::ZERO).unwrap();
         assert_eq!(t1, t2, "fresh arena replays identically");
         assert_eq!(fab.checksum(), c1);
+    }
+
+    /// The transient-fault rate 16384/65536 wires a period-4 injector on
+    /// the staging node; a clean chunk costs 3 staging ops, so faults
+    /// land on every other chunk or so.
+    fn chaos_plan() -> northup::FaultPlan {
+        northup::FaultPlan::new(11).transient_rate(16384)
+    }
+
+    #[test]
+    fn faulted_chunks_are_transactional_and_retry_to_the_clean_checksum() {
+        let tree = tree();
+        let staging = tree.children(tree.root())[0];
+        let pool = Arc::new(ThreadPool::new(2));
+        let ch = chain(&tree, 4, 64 << 10);
+
+        let mut clean = RealFabric::new(&tree, Arc::clone(&pool), 1 << 20).unwrap();
+        let mut t = SimTime::ZERO;
+        for i in 0..4 {
+            t = clean.run_chunk(&ch, i, t).unwrap();
+        }
+
+        let mut chaos =
+            RealFabric::with_faults(&tree, Arc::clone(&pool), 1 << 20, chaos_plan()).unwrap();
+        let mut t = SimTime::ZERO;
+        let mut errors = 0;
+        for i in 0..4 {
+            loop {
+                match chaos.run_chunk(&ch, i, t) {
+                    Ok(end) => {
+                        t = end;
+                        break;
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        assert!(matches!(e, FabricError::Runtime(_)), "{e}");
+                        // A faulted chunk releases its staging buffer: no
+                        // lease/capacity leak across retries.
+                        assert_eq!(chaos.runtime().used(staging), 0);
+                        assert!(errors < 32, "retries must converge");
+                    }
+                }
+            }
+        }
+        assert!(errors > 0, "the plan must actually inject");
+        assert_eq!(
+            chaos.checksum(),
+            clean.checksum(),
+            "failed attempts commit nothing: retries make the chaos run \
+             byte-equivalent to the clean one"
+        );
+    }
+
+    #[test]
+    fn chaos_fault_pattern_is_reproducible_across_fabrics_and_resets() {
+        let tree = tree();
+        let ch = chain(&tree, 3, 32 << 10);
+        let run = || {
+            let pool = Arc::new(ThreadPool::new(2));
+            let mut fab = RealFabric::with_faults(&tree, pool, 1 << 20, chaos_plan()).unwrap();
+            let mut pattern = Vec::new();
+            for i in 0..3 {
+                pattern.push(fab.run_chunk(&ch, i, SimTime::ZERO).is_err());
+            }
+            fab.reset().unwrap();
+            for i in 0..3 {
+                pattern.push(fab.run_chunk(&ch, i, SimTime::ZERO).is_err());
+            }
+            (pattern, fab.checksum(), fab.epoch())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same plan + same ops ⇒ same faults, bit for bit");
+        assert!(a.0.iter().any(|&e| e), "some attempt faulted");
+        assert!(a.0.iter().any(|&e| !e), "some attempt succeeded");
+    }
+
+    #[test]
+    fn reset_preserves_the_installed_lease() {
+        let tree = tree();
+        let staging = tree.children(tree.root())[0];
+        let pool = Arc::new(ThreadPool::new(1));
+        let mut fab = RealFabric::new(&tree, pool, 1 << 20).unwrap();
+        let bytes = 256u64 << 10;
+        fab.install_lease(Reservation::new().with(staging, bytes / 2).to_lease());
+        let ch = chain(&tree, 1, bytes);
+        assert!(fab.run_chunk(&ch, 0, SimTime::ZERO).is_err());
+        fab.reset().unwrap();
+        assert!(
+            fab.runtime().lease().is_some(),
+            "the admitted reservation survives the rebuild"
+        );
+        assert!(
+            fab.run_chunk(&ch, 0, SimTime::ZERO).is_err(),
+            "still metered after reset"
+        );
+    }
+
+    #[test]
+    fn reset_is_idempotent() {
+        let tree = tree();
+        let pool = Arc::new(ThreadPool::new(1));
+        let mut fab = RealFabric::new(&tree, pool, 1 << 20).unwrap();
+        let ch = chain(&tree, 1, 16 << 10);
+        let t1 = fab.run_chunk(&ch, 0, SimTime::ZERO).unwrap();
+        fab.reset().unwrap();
+        fab.reset().unwrap(); // back-to-back resets are harmless
+        assert_eq!(fab.epoch(), 2);
+        let t2 = fab.run_chunk(&ch, 0, SimTime::ZERO).unwrap();
+        assert_eq!(t1, t2);
     }
 }

@@ -121,6 +121,15 @@ impl NodeBudgets {
         }
     }
 
+    /// Set one node's budget to zero — quarantine: nothing more may be
+    /// committed on the fenced node, and reservations touching it become
+    /// infeasible. Unknown nodes are ignored.
+    pub fn zero(&mut self, node: NodeId) {
+        if let Some(b) = self.budget.get_mut(node.0) {
+            *b = 0;
+        }
+    }
+
     /// The per-node budget vector (index = `NodeId.0`), for logs.
     pub fn snapshot(&self) -> Vec<u64> {
         self.budget.clone()

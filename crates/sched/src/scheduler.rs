@@ -36,11 +36,25 @@
 //!    running jobs at their chunk boundaries until the commitment fits.
 //!    Queued jobs whose reservation can never fit under the new budgets
 //!    are rejected, preserving terminal totality.
+//! 6. **Faults** — with a [`SchedulerConfig::fault_plan`] installed,
+//!    every stage booking first consults the seeded plan (DESIGN.md
+//!    §10). A *transient* fault re-books the same stage after an
+//!    exponential [`RetryPolicy`] backoff charged in virtual time; a
+//!    *persistent* fault (or an exhausted retry budget) counts the
+//!    node toward [`SchedulerConfig::quarantine_after`], after which
+//!    the node is fenced: budget zeroed, infeasible queued jobs
+//!    rejected, and in-flight chains fault-evicted at the next chunk
+//!    boundary to re-place on a surviving leaf from their checkpoint —
+//!    bounded per job by [`SchedulerConfig::max_job_faults`]. All of it
+//!    is accounted in [`SchedReport::fault_log`],
+//!    [`SchedReport::quarantine_log`], and each job's [`FaultOutcome`].
 //!
 //! Everything is keyed on ordered integers (`SimTime`, event kind,
-//! `JobId`), so one trace + one config ⇒ one schedule, bit for bit.
-//! Preemption, quotas, and resizes are all off by default and leave the
-//! schedule untouched when unused.
+//! `JobId`), so one trace + one config ⇒ one schedule, bit for bit —
+//! including chaos runs: fault decisions and backoff jitter are pure
+//! hashes of (plan seed, node, booking ordinal), never OS entropy.
+//! Preemption, quotas, resizes, and fault plans are all off by default
+//! and leave the schedule untouched when unused.
 //!
 //! [`Checkpoint`]: northup::fabric::Checkpoint
 
@@ -48,11 +62,12 @@ use crate::error::SchedError;
 use crate::fabric::SimFabric;
 use crate::job::{JobId, JobSpec, JobState, Priority, TenantId};
 use crate::reserve::{NodeBudgets, Reservation, TenantQuota};
-use northup::fabric::{build_chain, ChunkChain};
+use northup::fabric::{build_chain, ChainStage, ChunkChain};
+use northup::fault::{FaultKind, FaultPlan, RetryPolicy};
 use northup::{NodeId, Tree, WorkQueues};
 use northup_sim::{SimDur, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// How the scheduler decides which queued job to admit next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +119,20 @@ pub struct SchedulerConfig {
     pub resize_drain: ResizeDrain,
     /// Per-tenant byte-second admission quota; `None` disables quotas.
     pub tenant_quota: Option<TenantQuota>,
+    /// Deterministic fault injection: the seeded plan consulted at every
+    /// stage booking. `None` (the default) injects nothing and leaves
+    /// the schedule bit-identical to a fault-free run.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy for transiently faulted stages (bounded attempts,
+    /// exponential virtual-time backoff with jitter from the plan).
+    pub retry: RetryPolicy,
+    /// After this many persistent faults a node is quarantined: its
+    /// budget drops to zero, in-flight chains re-route to surviving
+    /// leaves, and reservations touching it become infeasible.
+    pub quarantine_after: u32,
+    /// How many fault-driven displacements one job tolerates before it
+    /// is failed (bounds chaos runs: every job stays terminal).
+    pub max_job_faults: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -117,6 +146,10 @@ impl Default for SchedulerConfig {
             preempt: false,
             resize_drain: ResizeDrain::Drain,
             tenant_quota: None,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            quarantine_after: 3,
+            max_job_faults: 8,
         }
     }
 }
@@ -143,6 +176,11 @@ pub enum AdmissionEventKind {
     /// The job was evicted at a chunk boundary; its reservation was
     /// credited back and it re-queued with its checkpoint.
     Preempted,
+    /// The job was displaced by a fault (persistent fault, exhausted
+    /// retries, or a quarantined node on its chain); its reservation was
+    /// credited back and it re-queued for re-placement on a surviving
+    /// leaf, keeping its checkpoint.
+    FaultEvicted,
 }
 
 /// Committed bytes on one node right after an admission-log transition —
@@ -167,6 +205,59 @@ pub struct ChunkSample {
     pub job: JobId,
     /// Chunk index within the job (0-based).
     pub index: u32,
+}
+
+/// One injected fault: the raw series behind the chaos acceptance
+/// checks (and the bit-identity comparison between seeded runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSample {
+    /// Virtual time the fault was observed (at stage booking).
+    pub at: SimTime,
+    /// The faulted node (the stage's failure domain).
+    pub node: NodeId,
+    /// The job whose stage faulted.
+    pub job: JobId,
+    /// Transient (retryable) or persistent (counts toward quarantine).
+    pub kind: FaultKind,
+    /// The per-node operation ordinal the plan keyed the decision on.
+    pub ordinal: u64,
+}
+
+/// One node quarantine: after [`SchedulerConfig::quarantine_after`]
+/// persistent faults the node is fenced — budget zeroed, in-flight
+/// chains re-routed, reservations touching it rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineSample {
+    /// Virtual time the node was fenced.
+    pub at: SimTime,
+    /// The quarantined node.
+    pub node: NodeId,
+    /// Persistent faults observed on the node when it was fenced.
+    pub faults: u32,
+}
+
+/// Per-job fault accounting in the [`JobOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Transient faults the job's stages observed.
+    pub transient: u32,
+    /// Persistent faults the job's stages observed (including transient
+    /// faults that exhausted their retries).
+    pub persistent: u32,
+    /// Retries performed (each after a backoff).
+    pub retries: u32,
+    /// Total virtual time spent backing off.
+    pub backoff: SimDur,
+    /// Fault-driven displacements: evictions that re-placed the job on a
+    /// surviving leaf (checkpoint intact — no chunk ran twice).
+    pub reroutes: u32,
+}
+
+impl FaultOutcome {
+    /// True when the job observed any fault at all.
+    pub fn affected(&self) -> bool {
+        self.transient > 0 || self.persistent > 0 || self.reroutes > 0
+    }
 }
 
 /// One applied budget reconfiguration.
@@ -206,6 +297,8 @@ pub struct JobOutcome {
     pub chunks_done: u32,
     /// How many times the job was evicted and later resumed.
     pub preemptions: u32,
+    /// Fault accounting: faults observed, retries, backoff, re-routes.
+    pub fault: FaultOutcome,
 }
 
 impl JobOutcome {
@@ -258,6 +351,11 @@ pub struct SchedReport {
     /// Eviction-request → eviction-effect delay of every preemption (how
     /// long the victim's in-flight chunk kept the capacity occupied).
     pub preemption_latencies: Vec<SimDur>,
+    /// Every injected fault, in observation order (empty without a
+    /// [`SchedulerConfig::fault_plan`]).
+    pub fault_log: Vec<FaultSample>,
+    /// Every node quarantine, in fencing order.
+    pub quarantine_log: Vec<QuarantineSample>,
 }
 
 impl SchedReport {
@@ -295,9 +393,38 @@ impl SchedReport {
         SimDur::from_secs_f64(total / self.preemption_latencies.len() as f64)
     }
 
+    /// Total transient-fault retries across all jobs.
+    pub fn total_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.fault.retries)).sum()
+    }
+
+    /// Total virtual time all jobs spent backing off.
+    pub fn total_backoff(&self) -> SimDur {
+        let secs: f64 = self
+            .jobs
+            .iter()
+            .map(|j| j.fault.backoff.as_secs_f64())
+            .sum();
+        SimDur::from_secs_f64(secs)
+    }
+
+    /// Jobs that completed despite observing at least one fault — the
+    /// headline number of a chaos run.
+    pub fn jobs_recovered(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.state == JobState::Done && j.fault.affected())
+            .count()
+    }
+
+    /// Nodes quarantined during the run, in fencing order.
+    pub fn quarantined_nodes(&self) -> Vec<NodeId> {
+        self.quarantine_log.iter().map(|q| q.node).collect()
+    }
+
     /// One-line human summary for drivers and examples.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} jobs: {} done, {} rejected, {} cancelled | makespan {:.3} s | \
              {:.2} jobs/s | p50 {:.3} s | p99 {:.3} s | reject {:.1}% | {} preemptions",
             self.jobs.len(),
@@ -310,18 +437,32 @@ impl SchedReport {
             self.p99_latency.as_secs_f64(),
             self.rejection_rate * 100.0,
             self.total_preemptions(),
-        )
+        );
+        if !self.fault_log.is_empty() || !self.quarantine_log.is_empty() {
+            s.push_str(&format!(
+                " | {} faults, {} retries ({:.3} s backoff), {} recovered, \
+                 {} failed, {} quarantined",
+                self.fault_log.len(),
+                self.total_retries(),
+                self.total_backoff().as_secs_f64(),
+                self.jobs_recovered(),
+                self.count(JobState::Failed),
+                self.quarantine_log.len(),
+            ));
+        }
+        s
     }
 }
 
 /// Event kinds, in processing order at equal virtual time: completions
-/// free capacity first; cancellations and budget/quota changes take
-/// effect before new arrivals are considered.
+/// free capacity first, then backed-off stages retry; cancellations and
+/// budget/quota changes take effect before new arrivals are considered.
 const EV_STAGE_DONE: u8 = 0;
-const EV_CANCEL: u8 = 1;
-const EV_RESIZE: u8 = 2;
-const EV_QUOTA: u8 = 3;
-const EV_ARRIVAL: u8 = 4;
+const EV_RETRY: u8 = 1;
+const EV_CANCEL: u8 = 2;
+const EV_RESIZE: u8 = 3;
+const EV_QUOTA: u8 = 4;
+const EV_ARRIVAL: u8 = 5;
 
 #[derive(Debug)]
 struct JobRec {
@@ -344,6 +485,19 @@ struct JobRec {
     /// When the eviction was requested (for the latency report).
     preempt_requested_at: Option<SimTime>,
     preemptions: u32,
+    /// Marked by a quarantine whose fenced node lies on this job's
+    /// chain; displaced at the chunk boundary (or at the next stage
+    /// booking, whichever comes first).
+    evict_for_fault: bool,
+    /// Failed serve attempts of the current stage (reset on a clean
+    /// booking and on displacement).
+    stage_attempts: u32,
+    /// Fault accounting, reported as the job's [`FaultOutcome`].
+    faults_transient: u32,
+    faults_persistent: u32,
+    retries: u32,
+    backoff_total: SimDur,
+    reroutes: u32,
 }
 
 /// The multi-tenant scheduler. Submit jobs, then [`run`](Self::run) the
@@ -395,6 +549,13 @@ impl JobScheduler {
             evict_for_resize: false,
             preempt_requested_at: None,
             preemptions: 0,
+            evict_for_fault: false,
+            stage_attempts: 0,
+            faults_transient: 0,
+            faults_persistent: 0,
+            retries: 0,
+            backoff_total: SimDur::ZERO,
+            reroutes: 0,
         });
         id
     }
@@ -439,6 +600,7 @@ impl JobScheduler {
         while let Some(Reverse((t, kind, id, _))) = st.events.pop() {
             match kind {
                 EV_STAGE_DONE => self.on_stage_done(&mut st, JobId(id), t)?,
+                EV_RETRY => self.on_retry(&mut st, JobId(id), t)?,
                 EV_CANCEL => self.on_cancel(&mut st, JobId(id), t),
                 EV_RESIZE => self.on_resize(&mut st, id as usize, t)?,
                 EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t)?,
@@ -497,6 +659,11 @@ impl JobScheduler {
     /// A budget reconfiguration takes effect.
     fn on_resize(&mut self, st: &mut RunState, idx: usize, t: SimTime) -> Result<(), SchedError> {
         self.budgets = self.pending_resizes[idx].1.clone();
+        // Quarantine outlives resizes: a fenced node stays at zero even
+        // when the incoming budget vector would resurrect it.
+        for &n in &st.quarantined {
+            self.budgets.zero(n);
+        }
         st.resize_log.push(ResizeSample {
             at: t,
             budgets: self.budgets.snapshot(),
@@ -537,7 +704,7 @@ impl JobScheduler {
 
     /// A stage of the current chunk finished: book the next stage at its
     /// actual ready time, or close the chunk and decide at the boundary —
-    /// cancel > done > resize-evict > preempt > next chunk.
+    /// cancel > done > fault-evict > resize-evict > preempt > next chunk.
     fn on_stage_done(
         &mut self,
         st: &mut RunState,
@@ -548,10 +715,7 @@ impl JobScheduler {
         rec.stage_idx += 1;
         let chain = rec.chain.as_ref().ok_or(SchedError::MissingChain(id))?;
         if rec.stage_idx < chain.stages.len() {
-            let stage = chain.stages[rec.stage_idx];
-            let end = st.fabric.serve(&stage, t);
-            st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
-            return Ok(());
+            return self.book_stage(st, id, t);
         }
         rec.chunks_done += 1;
         rec.stage_idx = 0;
@@ -564,6 +728,8 @@ impl JobScheduler {
             self.finish(st, id, JobState::Cancelled, t)
         } else if rec.chunks_done >= rec.spec.work.chunks {
             self.finish(st, id, JobState::Done, t)
+        } else if rec.evict_for_fault {
+            self.fault_evict(st, id, t)
         } else if rec.evict_for_resize {
             self.evict(st, id, t)
         } else if rec.preempt_requested {
@@ -607,10 +773,202 @@ impl JobScheduler {
             };
             return self.finish(st, id, end_state, t);
         }
-        let first = chain.stages[0];
-        let end = st.fabric.serve(&first, t);
-        st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
-        Ok(())
+        self.book_stage(st, id, t)
+    }
+
+    /// Book the job's current stage (`stage_idx`) at `t`, consulting the
+    /// fault plan when one is configured. A clean booking schedules
+    /// `EV_STAGE_DONE` at the fabric's completion; a transient fault
+    /// within the retry budget schedules `EV_RETRY` after a seeded
+    /// backoff; a persistent fault (or exhausted retries, or a stage on
+    /// an already-quarantined node) goes through the persistent path:
+    /// count toward quarantine, then displace the job for re-placement.
+    fn book_stage(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
+        let (stage, node): (ChainStage, NodeId) = {
+            let rec = &self.jobs[id.0 as usize];
+            let chain = rec.chain.as_ref().ok_or(SchedError::MissingChain(id))?;
+            let stage = chain.stages[rec.stage_idx];
+            (stage, stage.stage.node(self.tree.root()))
+        };
+        if self.cfg.fault_plan.is_none() {
+            let end = st.fabric.serve(&stage, t);
+            st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
+            return Ok(());
+        }
+        if st.quarantined.contains(&node) {
+            // The device is fenced mid-chunk: the stage cannot be served,
+            // so the job moves off at once (its in-flight chunk restarts
+            // from the checkpoint on the new leaf — no chunk runs twice).
+            return self.fault_evict(st, id, t);
+        }
+        let ord = st.fault_ordinals[node.0];
+        st.fault_ordinals[node.0] += 1;
+        let attempts = self.jobs[id.0 as usize].stage_attempts;
+        let (decision, jitter) = match &self.cfg.fault_plan {
+            Some(plan) => (plan.decide(node, ord), plan.jitter(node, ord, attempts + 1)),
+            None => (None, 0.0),
+        };
+        match decision {
+            None => {
+                self.jobs[id.0 as usize].stage_attempts = 0;
+                let end = st.fabric.serve(&stage, t);
+                st.events.push(Reverse((end, EV_STAGE_DONE, id.0, 0)));
+                Ok(())
+            }
+            Some(FaultKind::Transient) => {
+                st.fault_log.push(FaultSample {
+                    at: t,
+                    node,
+                    job: id,
+                    kind: FaultKind::Transient,
+                    ordinal: ord,
+                });
+                let rec = &mut self.jobs[id.0 as usize];
+                rec.faults_transient += 1;
+                rec.stage_attempts += 1;
+                if rec.stage_attempts < self.cfg.retry.max_attempts {
+                    let delay = self.cfg.retry.backoff(rec.stage_attempts, jitter);
+                    rec.retries += 1;
+                    rec.backoff_total += delay;
+                    st.events.push(Reverse((t + delay, EV_RETRY, id.0, 0)));
+                    Ok(())
+                } else {
+                    // Bounded attempts exhausted: the fault is as good as
+                    // persistent for this placement.
+                    self.on_persistent_fault(st, id, node, t)
+                }
+            }
+            Some(FaultKind::Persistent) => {
+                st.fault_log.push(FaultSample {
+                    at: t,
+                    node,
+                    job: id,
+                    kind: FaultKind::Persistent,
+                    ordinal: ord,
+                });
+                self.jobs[id.0 as usize].faults_persistent += 1;
+                self.on_persistent_fault(st, id, node, t)
+            }
+        }
+    }
+
+    /// A backed-off stage retries: re-book the same stage. The plan is
+    /// consulted again at a fresh ordinal, so persistent trouble on the
+    /// node eventually escalates instead of retrying forever.
+    fn on_retry(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
+        let rec = &self.jobs[id.0 as usize];
+        if rec.state != JobState::Running || rec.chain.is_none() {
+            return Ok(()); // displaced or cancelled while backing off
+        }
+        self.book_stage(st, id, t)
+    }
+
+    /// A persistent fault on `node` (observed by `id`'s current stage):
+    /// count it toward the node's quarantine threshold, fence the node
+    /// when the threshold is reached, and displace the faulted job.
+    fn on_persistent_fault(
+        &mut self,
+        st: &mut RunState,
+        id: JobId,
+        node: NodeId,
+        t: SimTime,
+    ) -> Result<(), SchedError> {
+        st.node_persistent[node.0] += 1;
+        if st.node_persistent[node.0] >= self.cfg.quarantine_after
+            && !st.quarantined.contains(&node)
+        {
+            self.quarantine(st, node, t);
+        }
+        self.fault_evict(st, id, t)
+    }
+
+    /// Fence `node`: zero its budget, reject queued jobs whose
+    /// reservation can never fit the surviving envelope, and mark
+    /// in-flight jobs whose chain passes through the node so they
+    /// re-route to a surviving leaf at their next chunk boundary.
+    fn quarantine(&mut self, st: &mut RunState, node: NodeId, t: SimTime) {
+        st.quarantined.insert(node);
+        st.quarantine_log.push(QuarantineSample {
+            at: t,
+            node,
+            faults: st.node_persistent[node.0],
+        });
+        self.budgets.zero(node);
+        let waiting: Vec<JobId> = st.fifo_queue.iter().copied().collect();
+        for wid in waiting {
+            if !self
+                .budgets
+                .feasible(&self.jobs[wid.0 as usize].spec.reservation)
+            {
+                for q in st.class_queues.iter_mut() {
+                    q.retain(|&j| j != wid);
+                }
+                st.fifo_queue.retain(|&j| j != wid);
+                let rec = &mut self.jobs[wid.0 as usize];
+                rec.state = JobState::Rejected;
+                rec.finished_at = Some(t);
+            }
+        }
+        for rec in self.jobs.iter_mut() {
+            if matches!(rec.state, JobState::Admitted | JobState::Running) {
+                if let Some(chain) = &rec.chain {
+                    if chain_touches(&self.tree, chain, node) {
+                        rec.evict_for_fault = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Displace a faulted job: release the reservation, keep the
+    /// checkpoint, and re-queue it at the front of its class so the next
+    /// admission re-places it — `build_chain` re-targeting onto a
+    /// surviving leaf. A job displaced more than
+    /// [`SchedulerConfig::max_job_faults`] times is failed instead, and a
+    /// job whose reservation cannot fit the surviving budget envelope
+    /// fails too — chaos runs always terminate.
+    fn fault_evict(&mut self, st: &mut RunState, id: JobId, t: SimTime) -> Result<(), SchedError> {
+        {
+            let rec = &mut self.jobs[id.0 as usize];
+            rec.reroutes += 1;
+            rec.evict_for_fault = false;
+            rec.stage_attempts = 0;
+        }
+        if self.jobs[id.0 as usize].reroutes > self.cfg.max_job_faults {
+            return self.finish(st, id, JobState::Failed, t);
+        }
+        self.release_capacity(st, id, t);
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.preempt_requested = false;
+        rec.preempt_requested_at = None;
+        rec.evict_for_resize = false;
+        rec.state = JobState::Preempted;
+        rec.stage_idx = 0;
+        if let (Some(leaf), Some(task)) = (rec.leaf, rec.task.take()) {
+            st.wq.complete(leaf, task);
+        }
+        rec.leaf = None;
+        rec.chain = None;
+        st.admission_log.push(AdmissionEvent {
+            at: t,
+            job: id,
+            kind: AdmissionEventKind::FaultEvicted,
+        });
+        st.active -= 1;
+        if self
+            .budgets
+            .feasible(&self.jobs[id.0 as usize].spec.reservation)
+        {
+            let class = class_index(self.jobs[id.0 as usize].spec.priority);
+            st.class_queues[class].push_front(id);
+            st.fifo_queue.push_front(id);
+        } else {
+            // Its reserved node was fenced: the job lost its device.
+            let rec = &mut self.jobs[id.0 as usize];
+            rec.state = JobState::Failed;
+            rec.finished_at = Some(t);
+        }
+        self.admit_pass(st, t)
     }
 
     /// Commit the reservation, place the job, and start its next chunk
@@ -645,8 +1003,16 @@ impl JobScheduler {
         // Placement: the leaf whose subtree (child-of-root anchor) has the
         // shallowest work queues; ties break toward the lowest leaf id.
         // A resumed job is re-placed — only its checkpoint survives
-        // eviction, not its slot.
-        let leaf = self.place(st)?;
+        // eviction, not its slot. Quarantined nodes are avoided; when the
+        // fences leave no usable leaf the job fails (graceful, terminal)
+        // instead of erroring the whole run.
+        let leaf = match self.place(st) {
+            Ok(leaf) => leaf,
+            Err(SchedError::NoLeaf) if !st.quarantined.is_empty() => {
+                return self.finish(st, id, JobState::Failed, t);
+            }
+            Err(e) => return Err(e),
+        };
         let queue = st.wq.shortest_queue(leaf);
         let task = st.wq.enqueue(leaf, queue, name);
         let spec = &self.jobs[id.0 as usize].spec;
@@ -667,6 +1033,9 @@ impl JobScheduler {
     fn place(&self, st: &RunState) -> Result<NodeId, SchedError> {
         let mut best: Option<(usize, NodeId)> = None;
         for leaf in self.tree.leaves() {
+            if path_quarantined(&self.tree, &st.quarantined, leaf.id) {
+                continue;
+            }
             let anchor = subtree_anchor(&self.tree, leaf.id);
             let depth = st.wq.subtree_depth(&self.tree, anchor);
             let better = match best {
@@ -1101,6 +1470,13 @@ impl JobScheduler {
                 reservation: rec.spec.reservation,
                 chunks_done: rec.chunks_done,
                 preemptions: rec.preemptions,
+                fault: FaultOutcome {
+                    transient: rec.faults_transient,
+                    persistent: rec.faults_persistent,
+                    retries: rec.retries,
+                    backoff: rec.backoff_total,
+                    reroutes: rec.reroutes,
+                },
             })
             .collect();
 
@@ -1146,6 +1522,8 @@ impl JobScheduler {
             chunk_log: st.chunk_log,
             resize_log: st.resize_log,
             preemption_latencies: st.preemption_latencies,
+            fault_log: st.fault_log,
+            quarantine_log: st.quarantine_log,
             jobs,
         }
     }
@@ -1181,6 +1559,16 @@ struct RunState {
     active: usize,
     fabric: SimFabric,
     wq: WorkQueues,
+    /// Per-node operation ordinals the fault plan keys its decisions on
+    /// (index = `NodeId.0`). Advance only when a plan is configured, so
+    /// fault-free runs stay byte-identical to pre-fault schedules.
+    fault_ordinals: Vec<u64>,
+    /// Persistent faults observed per node (index = `NodeId.0`).
+    node_persistent: Vec<u32>,
+    /// Fenced nodes: zero budget, no placements, no stage bookings.
+    quarantined: BTreeSet<NodeId>,
+    fault_log: Vec<FaultSample>,
+    quarantine_log: Vec<QuarantineSample>,
 }
 
 impl RunState {
@@ -1205,6 +1593,11 @@ impl RunState {
             active: 0,
             fabric: SimFabric::new(tree),
             wq: WorkQueues::new(tree, cfg.queues_per_node.max(1)),
+            fault_ordinals: vec![0; tree.len()],
+            node_persistent: vec![0; tree.len()],
+            quarantined: BTreeSet::new(),
+            fault_log: Vec::new(),
+            quarantine_log: Vec::new(),
         }
     }
 }
@@ -1217,6 +1610,31 @@ fn class_index(p: Priority) -> usize {
         Priority::Normal => 1,
         Priority::Batch => 2,
     }
+}
+
+/// Whether any node on the root→`leaf` path (both endpoints included) is
+/// quarantined. The root carries the Read/WriteBack stages, so a fenced
+/// root blocks every leaf.
+fn path_quarantined(tree: &Tree, quarantined: &BTreeSet<NodeId>, leaf: NodeId) -> bool {
+    if quarantined.is_empty() {
+        return false;
+    }
+    let mut cur = leaf;
+    loop {
+        if quarantined.contains(&cur) {
+            return true;
+        }
+        match tree.parent(cur) {
+            Some(p) => cur = p,
+            None => return false,
+        }
+    }
+}
+
+/// Whether any stage of `chain` is served by `node`.
+fn chain_touches(tree: &Tree, chain: &ChunkChain, node: NodeId) -> bool {
+    let root = tree.root();
+    chain.stages.iter().any(|s| s.stage.node(root) == node)
 }
 
 /// The child-of-root subtree containing `node` (the node itself when it
@@ -1553,6 +1971,231 @@ mod tests {
             .collect();
         assert!(!after_shrink.is_empty());
         assert!(after_shrink.iter().all(|s| s.committed <= new_budget));
+    }
+
+    /// A chunky job with no reservation (always admissible) — fault
+    /// tests exercise placement/re-routing, not capacity.
+    fn free_job(name: &str, chunks: u32) -> JobSpec {
+        JobSpec::new(
+            name,
+            Reservation::new(),
+            JobWork::new(chunks)
+                .read(16 << 20)
+                .xfer(16 << 20)
+                .compute(SimDur::from_millis(1))
+                .write(8 << 20),
+        )
+    }
+
+    #[test]
+    fn transient_faults_retry_and_recover_every_job() {
+        let tree = tree();
+        let build = || {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    // ~4.6% per booking: plenty of faults, yet 4 bounded
+                    // attempts make an exhaustion astronomically unlikely.
+                    fault_plan: Some(FaultPlan::new(42).transient_rate(3000)),
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..6 {
+                s.submit(small_job(&format!("j{i}"), &tree, 0.3, 6));
+            }
+            s.run().unwrap()
+        };
+        let report = build();
+        assert!(report.all_terminal());
+        assert_eq!(report.count(JobState::Done), 6, "{}", report.summary());
+        assert!(!report.fault_log.is_empty(), "the plan must inject");
+        assert!(report.total_retries() > 0);
+        assert!(report.total_backoff() > SimDur::ZERO);
+        assert!(report.jobs_recovered() > 0);
+        assert!(report.quarantine_log.is_empty(), "transient-only plan");
+        // Bit-identical chaos: the whole report, field for field.
+        let again = build();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn inactive_fault_plan_leaves_the_schedule_untouched() {
+        let tree = tree();
+        let build = |plan| {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    fault_plan: plan,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..5 {
+                s.submit(
+                    small_job(&format!("j{i}"), &tree, 0.35, 3)
+                        .arrival(SimTime::from_secs_f64(0.0002 * i as f64)),
+                );
+            }
+            s.run().unwrap()
+        };
+        let off = build(None);
+        let on = build(Some(FaultPlan::new(9))); // zero rates, no scripts
+        assert_eq!(off.admission_order, on.admission_order);
+        assert_eq!(off.makespan, on.makespan);
+        assert_eq!(off.capacity_trace, on.capacity_trace);
+        assert_eq!(off.chunk_log, on.chunk_log);
+        assert!(on.fault_log.is_empty());
+    }
+
+    #[test]
+    fn persistent_faults_quarantine_the_node_and_reroute_chains() {
+        let tree = presets::asymmetric_fig2();
+        let sick = NodeId(1); // the CPU/DRAM leaf of subtree 1
+        let build = || {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    fault_plan: Some(FaultPlan::new(7).persistent_rate(65536).on_nodes([sick])),
+                    quarantine_after: 2,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..5 {
+                s.submit(free_job(&format!("j{i}"), 3));
+            }
+            s.run().unwrap()
+        };
+        let report = build();
+        assert!(report.all_terminal());
+        assert_eq!(report.quarantined_nodes(), vec![sick]);
+        assert_eq!(report.quarantine_log[0].faults, 2);
+        // Every job completed on a surviving leaf — graceful degradation,
+        // not mass failure.
+        assert_eq!(report.count(JobState::Done), 5, "{}", report.summary());
+        for j in &report.jobs {
+            assert_ne!(j.leaf, Some(sick), "{} still on the fenced leaf", j.name);
+        }
+        // At least one chain was displaced and re-targeted by build_chain.
+        assert!(report.jobs.iter().any(|j| j.fault.reroutes > 0));
+        assert!(report.jobs_recovered() > 0);
+        // Chunks still execute exactly once each across the re-routes.
+        for j in &report.jobs {
+            let mut idx: Vec<u32> = report
+                .chunk_log
+                .iter()
+                .filter(|c| c.job == j.id)
+                .map(|c| c.index)
+                .collect();
+            idx.sort_unstable();
+            assert_eq!(idx, (0..j.chunks_done).collect::<Vec<_>>());
+        }
+        let again = build();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn quarantine_rejects_and_fails_jobs_bound_to_the_fenced_node() {
+        let tree = presets::asymmetric_fig2();
+        let sick = NodeId(1);
+        let bytes = tree.node(sick).mem.capacity / 4;
+        let mut s = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                fault_plan: Some(FaultPlan::new(3).persistent_rate(65536).on_nodes([sick])),
+                quarantine_after: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        // Holds capacity on the node that dies: displaced by its own
+        // faults, then failed when the fence zeroes the budget.
+        let doomed = s.submit(JobSpec::new(
+            "doomed",
+            Reservation::new().with(sick, bytes),
+            JobWork::new(4).read(16 << 20).xfer(16 << 20),
+        ));
+        // Arrives long after the quarantine: rejected at arrival because
+        // the surviving envelope cannot ever hold its reservation.
+        let late = s.submit(
+            JobSpec::new(
+                "late",
+                Reservation::new().with(sick, bytes),
+                JobWork::new(1).read(1 << 20),
+            )
+            .arrival(SimTime::from_secs_f64(30.0)),
+        );
+        // A bystander with no stake in the sick node sails through.
+        let fine = s.submit(free_job("fine", 2));
+        let report = s.run().unwrap();
+        assert!(report.all_terminal());
+        assert_eq!(report.job(doomed).state, JobState::Failed);
+        assert!(report.job(doomed).fault.persistent > 0);
+        assert_eq!(report.job(late).state, JobState::Rejected);
+        assert_eq!(report.job(fine).state, JobState::Done);
+        assert_eq!(report.quarantined_nodes(), vec![sick]);
+        // Fault accounting is visible in the one-line summary.
+        assert!(report.summary().contains("quarantined"));
+    }
+
+    #[test]
+    fn root_quarantine_fails_the_remaining_trace_gracefully() {
+        let tree = tree();
+        let root = tree.root();
+        let mut s = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                // The very first root booking (job 0's first Read) is a
+                // persistent fault and the threshold is 1: the root — for
+                // which no sibling exists — is fenced immediately.
+                fault_plan: Some(FaultPlan::new(0).script(root, 0, FaultKind::Persistent)),
+                quarantine_after: 1,
+                ..SchedulerConfig::default()
+            },
+        );
+        for i in 0..3 {
+            s.submit(free_job(&format!("j{i}"), 2));
+        }
+        let report = s.run().unwrap();
+        assert!(report.all_terminal(), "no stuck jobs even with a dead root");
+        assert_eq!(report.quarantined_nodes(), vec![root]);
+        assert_eq!(report.count(JobState::Done), 0);
+        assert!(report.count(JobState::Failed) >= 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_escalates_to_the_persistent_path() {
+        let tree = tree();
+        let root = tree.root();
+        // Script a transient fault at every early root ordinal: with a
+        // no-retry policy the first fault escalates immediately.
+        let mut plan = FaultPlan::new(5);
+        for ord in 0..8 {
+            plan = plan.script(root, ord, FaultKind::Transient);
+        }
+        let mut s = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                fault_plan: Some(plan),
+                retry: RetryPolicy::none(),
+                quarantine_after: u32::MAX, // never fence: exercise max_job_faults
+                max_job_faults: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        let id = s.submit(free_job("unlucky", 2));
+        let report = s.run().unwrap();
+        assert!(report.all_terminal());
+        assert_eq!(report.job(id).state, JobState::Failed);
+        assert_eq!(report.job(id).fault.retries, 0, "no-retry policy");
+        assert!(report.job(id).fault.reroutes > 2, "displaced past the cap");
+        // The admission log balances: every commit is matched by exactly
+        // one release-like event (Released / Preempted / FaultEvicted).
+        let count =
+            |k: AdmissionEventKind| report.admission_log.iter().filter(|e| e.kind == k).count();
+        assert_eq!(
+            count(AdmissionEventKind::Admitted),
+            count(AdmissionEventKind::Released)
+                + count(AdmissionEventKind::Preempted)
+                + count(AdmissionEventKind::FaultEvicted)
+        );
     }
 
     #[test]

@@ -87,3 +87,69 @@ fn unaffected_nodes_keep_working_during_faults() {
     rt.read_slice(b, 0, &mut out).unwrap();
     assert_eq!(out, [7u8; 128]);
 }
+
+#[test]
+fn move_data_up_write_faults_surface_and_preserve_the_file_prefix() {
+    // Every second root write fails: the fill of the file itself succeeds
+    // (writes 1), and the subsequent move-ups alternate fault/ok.
+    let rt = faulty_runtime(FaultOps::Writes, 2);
+    let file = rt.alloc(512, NodeId(0)).unwrap();
+    rt.write_slice(file, 0, &[0xAAu8; 512]).unwrap(); // write #1: ok
+    let stage = rt.alloc(64, NodeId(1)).unwrap();
+    rt.write_slice(stage, 0, &[0x55u8; 64]).unwrap(); // DRAM: unwrapped
+
+    // Writeback path (leaf → root), the paper's move_data_up.
+    let first = rt.move_data(file, 0, stage, 0, 64);
+    assert!(
+        matches!(first, Err(NorthupError::Hw(_))),
+        "write #2 injected: {first:?}"
+    );
+    // The failed writeback left the file region untouched.
+    let mut out = [0u8; 64];
+    rt.read_slice(file, 0, &mut out).unwrap();
+    assert_eq!(out, [0xAAu8; 64], "no partial write on fault");
+    // The retry (write #3) lands.
+    rt.move_data(file, 0, stage, 0, 64).unwrap();
+    rt.read_slice(file, 0, &mut out).unwrap();
+    assert_eq!(out, [0x55u8; 64]);
+}
+
+#[test]
+fn lease_accounting_balances_through_every_error_path() {
+    use northup_suite::sched::Reservation;
+    let rt = faulty_runtime(FaultOps::ReadsAndWrites, 3);
+    let lease = Reservation::new()
+        .with(NodeId(0), 4096)
+        .with(NodeId(1), 256)
+        .to_lease();
+    rt.install_lease(std::sync::Arc::clone(&lease));
+
+    let file = rt.alloc(1024, NodeId(0)).unwrap();
+    let stage = rt.alloc(64, NodeId(1)).unwrap();
+    assert_eq!(lease.used(NodeId(0)), 1024);
+    assert_eq!(lease.used(NodeId(1)), 64);
+
+    // Drive both transfer directions through a run of injected faults.
+    let mut errors = 0;
+    for i in 0..6u64 {
+        if rt.move_data(stage, 0, file, i * 64, 64).is_err() {
+            errors += 1;
+        }
+        if rt.move_data(file, i * 64, stage, 0, 64).is_err() {
+            errors += 1;
+        }
+        // Faults never change what the lease holds: transfers are not
+        // allocations, and failed ones must not be charged either.
+        assert_eq!(lease.used(NodeId(0)), 1024, "after round {i}");
+        assert_eq!(lease.used(NodeId(1)), 64, "after round {i}");
+    }
+    assert!(errors > 0, "the injector must have fired");
+
+    // Releases credit the lease back to zero — nothing leaked.
+    rt.release(stage).unwrap();
+    rt.release(file).unwrap();
+    assert_eq!(lease.used(NodeId(0)), 0);
+    assert_eq!(lease.used(NodeId(1)), 0);
+    assert_eq!(rt.used(NodeId(0)), 0);
+    assert_eq!(rt.used(NodeId(1)), 0);
+}
