@@ -30,7 +30,7 @@ pub fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
 /// `sim/src/time.rs` (the virtual clock) and `sched/src/real.rs` (the
 /// real backend) are the sanctioned exceptions.
 fn r1_determinism_sources(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
-    if !matches!(krate, "core" | "sim" | "sched") {
+    if !matches!(krate, "core" | "sim" | "sched" | "fleet") {
         return;
     }
     if sf.path == "crates/sim/src/time.rs" || sf.path == "crates/sched/src/real.rs" {
@@ -64,7 +64,7 @@ fn r1_determinism_sources(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) 
 /// the hasher); in schedule-affecting crates that order leaks into
 /// schedules, so ordered containers are required.
 fn r2_ordered_iteration(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
-    if !matches!(krate, "core" | "sched" | "sim") {
+    if !matches!(krate, "core" | "sched" | "sim" | "fleet") {
         return;
     }
     for ci in 0..sf.code.len() {
@@ -154,7 +154,7 @@ fn r3_lease_discipline(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
 /// the execution crates turn recoverable conditions into aborts that
 /// take down co-scheduled tenants.
 fn r4_panic_paths(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
-    if !matches!(krate, "core" | "exec" | "sched") {
+    if !matches!(krate, "core" | "exec" | "sched" | "fleet") {
         return;
     }
     for ci in 0..sf.code.len() {

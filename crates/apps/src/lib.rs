@@ -19,6 +19,9 @@
 //!   migration, with the input-dependent crossover quantified.
 //! * [`distributed`] — §VII distributed GEMM over the cluster preset, with
 //!   a strong-scaling curve capped by the shared parallel file system.
+//! * [`fleet`] — the federated driver: the same trace shapes replayed
+//!   across N shard trees through the `northup-fleet` router, with
+//!   tenant data affinity and cross-shard migration (DESIGN.md §11).
 //! * [`calibration`] — every model knob, documented.
 //! * [`report`] — run results and Fig.-6-style comparisons.
 
@@ -29,6 +32,7 @@ pub mod adaptive;
 pub mod balance;
 pub mod calibration;
 pub mod distributed;
+pub mod fleet;
 pub mod host;
 pub mod hotspot;
 pub mod layout;
@@ -42,6 +46,7 @@ pub mod subtree;
 pub use adaptive::{adaptive_stencil_stream, AdaptiveMapper, AdaptiveOutcome, Policy};
 pub use balance::{fig11_speedup, run_balanced, BalanceConfig, BalanceRun, LeafRates};
 pub use distributed::{gemm_cluster, scaling_curve, DistGemmConfig};
+pub use fleet::{fleet_trace, run_fleet, run_fleet_with, AFFINITY_PCT};
 pub use host::when_real;
 pub use hotspot::{
     hotspot_apu, hotspot_in_memory, hotspot_northup, hotspot_split_leaf, optimal_gpu_fraction,

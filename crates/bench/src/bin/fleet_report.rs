@@ -1,0 +1,222 @@
+//! CI fleet gate: replay a 100k-job mixed-application trace across a
+//! 16-shard federation with one scripted shard quarantine, verify the
+//! DESIGN.md §11 guarantees, and emit the deterministic fleet report
+//! plus a throughput artifact.
+//!
+//! ```text
+//! cargo run --release -p northup-bench --bin fleet_report
+//! cargo run --release -p northup-bench --bin fleet_report -- fleet-report.json BENCH_fleet.json
+//! ```
+//!
+//! Exit code is non-zero when the acceptance criteria fail:
+//!
+//! * two same-seed runs must produce **byte-identical** report JSON;
+//! * the fleet capacity invariant must hold (no shard's committed peak
+//!   exceeds its budget);
+//! * the scripted fault plan on shard 0 must fence a node and force at
+//!   least one **cross-shard migration**, and every migrated job that
+//!   completed must carry exactly the chunk checksum a single-shard run
+//!   of the same uid would have produced (the exactly-once witness);
+//! * every chunk fleet-wide ran exactly once.
+
+use northup::{FaultKind, FaultPlan};
+use northup_apps::{fleet_trace, service::TraceConfig};
+use northup_fleet::{chunk_checksum, Fleet, FleetConfig, FleetReport};
+use northup_sched::JobState;
+use std::time::Instant;
+
+const SHARDS: usize = 16;
+const JOBS: usize = 100_000;
+const SEED: u64 = 2026_0807;
+
+/// The gate's federation: the standard 16-shard preset with shard 0
+/// scripted to fence its staging node early (two persistent faults at
+/// the first two decisions, `quarantine_after = 2`). Every other shard
+/// stays clean, so migrants always have somewhere to land.
+///
+/// Fault-aware placement is switched off for the gate: it steers every
+/// later job off the sickening leaf after the *first* scripted fault —
+/// exactly its purpose, but it keeps the second scripted ordinal from
+/// ever firing, and this gate exists to exercise the quarantine →
+/// probation → cross-shard-migration path, not the mitigation that
+/// avoids it (that satellite has its own scheduler-level tests).
+fn config() -> FleetConfig {
+    let mut cfg = FleetConfig::preset(SHARDS, SEED);
+    cfg.sched.quarantine_after = 2;
+    cfg.sched.fault_aware_placement = false;
+    let staging = cfg.tree.children(cfg.tree.root())[0];
+    cfg.shard_overrides.insert(
+        0,
+        FaultPlan::new(SEED)
+            .script(staging, 0, FaultKind::Persistent)
+            .script(staging, 1, FaultKind::Persistent),
+    );
+    cfg
+}
+
+fn trace_cfg() -> TraceConfig {
+    TraceConfig {
+        jobs: JOBS,
+        seed: SEED,
+        mean_gap_us: 500,
+        scale: 32,
+    }
+}
+
+fn run_once() -> FleetReport {
+    let cfg = config();
+    let trace = fleet_trace(&cfg, &trace_cfg());
+    let mut fleet = Fleet::new(cfg).unwrap_or_else(|e| {
+        eprintln!("fleet_report: bad config: {e}");
+        std::process::exit(2);
+    });
+    for job in trace {
+        fleet.submit(job);
+    }
+    fleet.run().unwrap_or_else(|e| {
+        eprintln!("fleet_report: run failed: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next();
+    let bench_path = args.next();
+
+    let wall = Instant::now();
+    let report = run_once();
+    let wall_s = wall.elapsed().as_secs_f64();
+    let json = report.to_json();
+
+    let replay = run_once();
+    let replay_identical = json == replay.to_json();
+
+    println!("== fleet gate: {SHARDS} shards × {JOBS} jobs, seed {SEED} ==");
+    println!("{}", report.summary());
+    println!(
+        "{:>10.2}s wall  {:>10.0} jobs/s  {:>12.0} events/s  rounds {}",
+        wall_s,
+        JOBS as f64 / wall_s,
+        report.events as f64 / wall_s,
+        report.rounds,
+    );
+    for c in &report.per_class {
+        println!(
+            "  class {:<12} completed {:>7}  p50 {:>10.6}s  p99 {:>10.6}s",
+            format!("{:?}", c.class),
+            c.completed,
+            c.p50.as_secs_f64(),
+            c.p99.as_secs_f64(),
+        );
+    }
+
+    let mut failures = Vec::new();
+    if !replay_identical {
+        failures.push("report drifted between same-seed runs".to_string());
+    }
+    if !report.capacity_ok {
+        failures.push("fleet capacity invariant violated".to_string());
+    }
+    if !report.exactly_once() {
+        failures.push("a chunk ran twice or was skipped".to_string());
+    }
+    if report.shards[0].quarantines == 0 {
+        failures.push("scripted plan fenced nothing on shard 0".to_string());
+    }
+    if report.migrations.is_empty() {
+        failures.push("quarantine displaced no jobs".to_string());
+    }
+    let mut migrated_done = 0usize;
+    for m in &report.migrations {
+        if m.from != 0 {
+            failures.push(format!(
+                "job {} exported from clean shard {}",
+                m.uid, m.from
+            ));
+        }
+        let out = report.outcome(m.uid).expect("migrated uid settles");
+        if out.state == JobState::Done {
+            migrated_done += 1;
+            let single_shard = chunk_checksum(m.uid, 0..out.chunks_done);
+            if out.checksum != single_shard || !out.exactly_once {
+                failures.push(format!(
+                    "job {} checksum {:016x} != single-shard {:016x}",
+                    m.uid, out.checksum, single_shard
+                ));
+            }
+        }
+    }
+    if migrated_done == 0 {
+        failures.push("no migrated job completed on a surviving shard".to_string());
+    }
+    let done = report.count(JobState::Done);
+    if done * 10 < JOBS * 9 {
+        failures.push(format!("only {done}/{JOBS} jobs done"));
+    }
+
+    if let Some(path) = &report_path {
+        write_or_die(path, &json);
+    }
+    if let Some(path) = &bench_path {
+        write_or_die(
+            path,
+            &bench_json(&report, wall_s, replay_identical, migrated_done),
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "fleet gate: OK ({} migrations, {migrated_done} completed after migration)",
+            report.migrations.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("fleet gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn write_or_die(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("fleet_report: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {path}");
+}
+
+/// Hand-rolled throughput artifact (no serde_json in the tree). Wall
+/// time and rates vary run to run; everything else is deterministic.
+fn bench_json(
+    r: &FleetReport,
+    wall_s: f64,
+    replay_identical: bool,
+    migrated_done: usize,
+) -> String {
+    format!(
+        "{{\n  \"schema\": \"northup-bench-fleet-v1\",\n  \"seed\": {},\n  \"shards\": {},\n  \
+         \"jobs\": {},\n  \"done\": {},\n  \"failed\": {},\n  \"rejected\": {},\n  \
+         \"events\": {},\n  \"rounds\": {},\n  \"migrations\": {},\n  \"migrated_done\": {},\n  \
+         \"makespan_s\": {:.9},\n  \"wall_s\": {:.3},\n  \"jobs_per_sec\": {:.0},\n  \
+         \"events_per_sec\": {:.0},\n  \"capacity_ok\": {},\n  \"exactly_once\": {},\n  \
+         \"replay_identical\": {}\n}}\n",
+        r.seed,
+        r.shards.len(),
+        r.outcomes.len(),
+        r.count(JobState::Done),
+        r.count(JobState::Failed),
+        r.count(JobState::Rejected),
+        r.events,
+        r.rounds,
+        r.migrations.len(),
+        migrated_done,
+        r.makespan.as_secs_f64(),
+        wall_s,
+        r.outcomes.len() as f64 / wall_s,
+        r.events as f64 / wall_s,
+        r.capacity_ok,
+        r.exactly_once(),
+        replay_identical,
+    )
+}

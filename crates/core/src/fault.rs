@@ -77,6 +77,15 @@ impl FaultPlan {
         self.seed
     }
 
+    /// Builder: the same rates, node filter, and scripted injections
+    /// under a different seed — how a federation derives per-shard plans
+    /// from one fleet seed (every shard faults with the same *shape* but
+    /// an independent stream).
+    pub fn reseeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Builder: each targeted booking faults *transiently* with
     /// probability `per_64k / 65536` (clamped to the roll space).
     pub fn transient_rate(mut self, per_64k: u32) -> Self {
@@ -256,6 +265,23 @@ mod tests {
         assert_eq!(plan.decide(NodeId(4), 0), None, "untargeted node");
         assert_eq!(plan.decide(NodeId(5), 3), Some(FaultKind::Persistent));
         assert_eq!(plan.decide(NodeId(5), 4), None);
+    }
+
+    #[test]
+    fn reseeded_keeps_the_shape_but_changes_the_stream() {
+        let base = FaultPlan::new(7)
+            .transient_rate(8000)
+            .persistent_rate(800)
+            .on_nodes([NodeId(2)])
+            .script(NodeId(5), 3, FaultKind::Persistent);
+        let other = base.clone().reseeded(99);
+        assert_eq!(other.seed(), 99);
+        assert!(other.targets(NodeId(2)) && !other.targets(NodeId(4)));
+        assert_eq!(other.decide(NodeId(5), 3), Some(FaultKind::Persistent));
+        let stream = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..4096).map(|i| p.decide(NodeId(2), i)).collect()
+        };
+        assert_ne!(stream(&base), stream(&other), "independent streams");
     }
 
     #[test]

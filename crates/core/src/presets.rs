@@ -141,6 +141,16 @@ pub fn cluster(gpu_nodes: usize, cpu_nodes: usize) -> Tree {
     b.build()
 }
 
+/// One shard of a federated fleet (DESIGN.md §11): a compact [`cluster`]
+/// — two GPU nodes and one CPU node behind a parallel file system — that
+/// `northup-fleet` instantiates N times, each shard with its own
+/// `JobScheduler`, budgets, and fault plan. Small on purpose: a 16-shard
+/// fleet replaying a 100k-job trace stays cheap while still exercising
+/// multi-leaf placement, quarantine, and probation inside every shard.
+pub fn fleet_shard() -> Tree {
+    cluster(2, 1)
+}
+
 /// NVM remapped into the address space (paper §II / §III-B: the same part
 /// can be "part of physical address space ... or fast storage"): identical
 /// shape to [`apu_two_level`], but the root is NVM with a memory-class
@@ -227,6 +237,14 @@ mod tests {
         // Node-to-node data never moves directly (tree edges only).
         let leaves: Vec<NodeId> = t.leaves().map(|l| l.id).collect();
         assert!(!t.adjacent(leaves[0], leaves[1]));
+    }
+
+    #[test]
+    fn fleet_shard_is_a_small_multi_leaf_cluster() {
+        let t = fleet_shard();
+        assert_eq!(t.children(NodeId(0)).len(), 3, "three nodes off the PFS");
+        assert!(t.leaves().count() >= 3, "re-routing needs leaf diversity");
+        assert_eq!(t.storage_class(NodeId(0)), StorageClass::File);
     }
 
     #[test]

@@ -172,6 +172,14 @@ pub struct JobSpec {
     /// Optional cancellation time (takes effect from the queue instantly,
     /// or at the next chunk boundary once running).
     pub cancel_at: Option<SimTime>,
+    /// Chunks already completed elsewhere before this submission — the
+    /// migration hook. A job checkpointed on another scheduler (another
+    /// shard of a federation) resumes here from chunk `start_chunk`:
+    /// completed chunks are never re-run, chunk-log indices continue
+    /// where the source left off, and a job whose checkpoint already
+    /// covers every chunk finishes at admission. Clamped to
+    /// `work.chunks`; zero (the default) is a fresh job.
+    pub start_chunk: u32,
 }
 
 impl JobSpec {
@@ -186,6 +194,7 @@ impl JobSpec {
             reservation,
             work,
             cancel_at: None,
+            start_chunk: 0,
         }
     }
 
@@ -210,6 +219,15 @@ impl JobSpec {
     /// Request cancellation at virtual time `at`.
     pub fn cancel_at(mut self, at: SimTime) -> Self {
         self.cancel_at = Some(at);
+        self
+    }
+
+    /// Resume from a checkpoint taken elsewhere: chunks `0..chunks` are
+    /// treated as already complete and are never re-run here (the
+    /// cross-scheduler half of the migration protocol — within one
+    /// scheduler, eviction keeps the checkpoint automatically).
+    pub fn resume_from(mut self, chunks: u32) -> Self {
+        self.start_chunk = chunks;
         self
     }
 }

@@ -83,8 +83,8 @@ pub use real::RealFabric;
 pub use reserve::{NodeBudgets, Reservation, TenantQuota};
 pub use scheduler::{
     staging_reservation, AdmissionEvent, AdmissionEventKind, AdmissionPolicy, CapacitySample,
-    ChunkSample, FaultOutcome, FaultSample, JobOutcome, JobScheduler, QuarantineSample,
-    ResizeDrain, ResizeSample, SchedReport, SchedulerConfig,
+    ChunkSample, FaultOutcome, FaultSample, JobOutcome, JobScheduler, Probation, QuarantineSample,
+    ResizeDrain, ResizeSample, RestoreSample, SchedReport, SchedulerConfig,
 };
 // Re-export the shared IR (and the failure-domain vocabulary) so
 // scheduler users need not depend on `northup` directly.

@@ -125,8 +125,15 @@ impl NodeBudgets {
     /// committed on the fenced node, and reservations touching it become
     /// infeasible. Unknown nodes are ignored.
     pub fn zero(&mut self, node: NodeId) {
+        self.set(node, 0);
+    }
+
+    /// Set one node's budget to an explicit byte count — probation
+    /// restore: a fenced node that survives its fault-free window gets
+    /// its pre-fence budget back. Unknown nodes are ignored.
+    pub fn set(&mut self, node: NodeId, bytes: u64) {
         if let Some(b) = self.budget.get_mut(node.0) {
-            *b = 0;
+            *b = bytes;
         }
     }
 

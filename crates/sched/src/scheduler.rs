@@ -95,6 +95,48 @@ pub enum ResizeDrain {
     Preempt,
 }
 
+/// Node recovery policy: how a quarantined node earns its budget back.
+///
+/// A fence is not forever — transient environmental trouble (a flaky
+/// cable, a thermal excursion) clears, and a long fleet replay that
+/// never recovers capacity drifts ever further from reality. With a
+/// probation policy installed, fencing a node schedules a *probe* after
+/// a probation window: the probe consults the fault plan [`Self::probes`]
+/// times at fresh ordinals, and only if **every** decision comes back
+/// clean is the node restored — budget back to its pre-fence value,
+/// persistent-fault count reset (the node must accumulate
+/// [`SchedulerConfig::quarantine_after`] fresh faults to be fenced
+/// again). A dirty probe re-schedules with hysteresis: each successive
+/// probe (and each restore-then-re-fence flap) multiplies the next
+/// window by [`Self::backoff`], and after [`Self::max_restores`] probes
+/// the node stays fenced for good — so an unstable node cannot flap
+/// between fenced and live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probation {
+    /// Virtual-time window between the fence (or a failed probe) and the
+    /// next probe.
+    pub window: SimDur,
+    /// Fault-plan consultations per probe; all must be clean to restore.
+    pub probes: u32,
+    /// Window multiplier per successive probe of the same node
+    /// (hysteresis; clamped to ≥ 1).
+    pub backoff: u32,
+    /// Total probes (and hence restores) one node may ever get; after
+    /// this the fence is permanent.
+    pub max_restores: u32,
+}
+
+impl Default for Probation {
+    fn default() -> Self {
+        Probation {
+            window: SimDur::from_millis(50),
+            probes: 8,
+            backoff: 4,
+            max_restores: 3,
+        }
+    }
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -133,6 +175,15 @@ pub struct SchedulerConfig {
     /// How many fault-driven displacements one job tolerates before it
     /// is failed (bounds chaos runs: every job stays terminal).
     pub max_job_faults: u32,
+    /// Node recovery: probation window restoring a fenced node's budget
+    /// after a fault-free interval, with hysteresis against flapping.
+    /// `None` (the default) keeps quarantine permanent.
+    pub probation: Option<Probation>,
+    /// Fault-aware placement: bias leaf choice away from nodes
+    /// accumulating sub-threshold persistent faults, so chains migrate
+    /// *before* quarantine trips. Off by default — with no observed
+    /// faults the bias is zero and schedules are untouched either way.
+    pub fault_aware_placement: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -150,6 +201,8 @@ impl Default for SchedulerConfig {
             retry: RetryPolicy::default(),
             quarantine_after: 3,
             max_job_faults: 8,
+            probation: None,
+            fault_aware_placement: false,
         }
     }
 }
@@ -234,6 +287,22 @@ pub struct QuarantineSample {
     pub node: NodeId,
     /// Persistent faults observed on the node when it was fenced.
     pub faults: u32,
+}
+
+/// One probation restore: a fenced node survived its fault-free window
+/// and got its pre-fence budget back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreSample {
+    /// Virtual time the node was restored.
+    pub at: SimTime,
+    /// The restored node.
+    pub node: NodeId,
+    /// Which probe (1-based, across the node's lifetime) succeeded —
+    /// later attempts mean the node flapped and waited through longer
+    /// hysteresis windows.
+    pub attempt: u32,
+    /// Budget bytes given back.
+    pub budget: u64,
 }
 
 /// Per-job fault accounting in the [`JobOutcome`].
@@ -356,6 +425,13 @@ pub struct SchedReport {
     pub fault_log: Vec<FaultSample>,
     /// Every node quarantine, in fencing order.
     pub quarantine_log: Vec<QuarantineSample>,
+    /// Every probation restore, in restore order (empty without a
+    /// [`SchedulerConfig::probation`] policy).
+    pub restore_log: Vec<RestoreSample>,
+    /// Scheduler events processed by the run loop — the raw unit of the
+    /// event-engine throughput metric (events/sec) tracked by the bench
+    /// harness.
+    pub events: u64,
 }
 
 impl SchedReport {
@@ -422,6 +498,25 @@ impl SchedReport {
         self.quarantine_log.iter().map(|q| q.node).collect()
     }
 
+    /// Nodes restored by probation during the run, in restore order.
+    pub fn restored_nodes(&self) -> Vec<NodeId> {
+        self.restore_log.iter().map(|r| r.node).collect()
+    }
+
+    /// Sub-threshold fault pressure per node: persistent faults observed
+    /// on each node over the run. This is the same signal fault-aware
+    /// placement biases on, exposed so a federation router can fold one
+    /// shard's accumulated trouble into its cross-shard scoring.
+    pub fn node_fault_pressure(&self) -> BTreeMap<NodeId, u32> {
+        let mut pressure: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for f in &self.fault_log {
+            if f.kind == FaultKind::Persistent {
+                *pressure.entry(f.node).or_insert(0) += 1;
+            }
+        }
+        pressure
+    }
+
     /// One-line human summary for drivers and examples.
     pub fn summary(&self) -> String {
         let mut s = format!(
@@ -441,13 +536,14 @@ impl SchedReport {
         if !self.fault_log.is_empty() || !self.quarantine_log.is_empty() {
             s.push_str(&format!(
                 " | {} faults, {} retries ({:.3} s backoff), {} recovered, \
-                 {} failed, {} quarantined",
+                 {} failed, {} quarantined, {} restored",
                 self.fault_log.len(),
                 self.total_retries(),
                 self.total_backoff().as_secs_f64(),
                 self.jobs_recovered(),
                 self.count(JobState::Failed),
                 self.quarantine_log.len(),
+                self.restore_log.len(),
             ));
         }
         s
@@ -463,6 +559,10 @@ const EV_CANCEL: u8 = 2;
 const EV_RESIZE: u8 = 3;
 const EV_QUOTA: u8 = 4;
 const EV_ARRIVAL: u8 = 5;
+/// Probation probe of a fenced node (after arrivals at the same instant,
+/// so a restore at time t serves queued work from t onward, not a
+/// same-instant arrival race).
+const EV_PROBE: u8 = 6;
 
 #[derive(Debug)]
 struct JobRec {
@@ -534,6 +634,10 @@ impl JobScheduler {
     /// `run` replays them by arrival time.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
         let id = JobId(self.jobs.len() as u64);
+        // The migration hook: a job checkpointed elsewhere starts past
+        // its already-completed chunks (clamped so a stale checkpoint
+        // cannot promise more chunks than the work declares).
+        let start_chunk = spec.start_chunk.min(spec.work.chunks);
         self.jobs.push(JobRec {
             spec,
             state: JobState::Queued,
@@ -543,7 +647,7 @@ impl JobScheduler {
             task: None,
             chain: None,
             stage_idx: 0,
-            chunks_done: 0,
+            chunks_done: start_chunk,
             cancel_requested: false,
             preempt_requested: false,
             evict_for_resize: false,
@@ -598,6 +702,7 @@ impl JobScheduler {
         }
 
         while let Some(Reverse((t, kind, id, _))) = st.events.pop() {
+            st.events_processed += 1;
             match kind {
                 EV_STAGE_DONE => self.on_stage_done(&mut st, JobId(id), t)?,
                 EV_RETRY => self.on_retry(&mut st, JobId(id), t)?,
@@ -605,6 +710,7 @@ impl JobScheduler {
                 EV_RESIZE => self.on_resize(&mut st, id as usize, t)?,
                 EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t)?,
                 EV_ARRIVAL => self.on_arrival(&mut st, JobId(id), t)?,
+                EV_PROBE => self.on_probe(&mut st, NodeId(id as usize), t)?,
                 other => return Err(SchedError::UnknownEvent(other)),
             }
         }
@@ -660,8 +766,11 @@ impl JobScheduler {
     fn on_resize(&mut self, st: &mut RunState, idx: usize, t: SimTime) -> Result<(), SchedError> {
         self.budgets = self.pending_resizes[idx].1.clone();
         // Quarantine outlives resizes: a fenced node stays at zero even
-        // when the incoming budget vector would resurrect it.
+        // when the incoming budget vector would resurrect it. The
+        // incoming value becomes the node's restore target, so a later
+        // probation restore honors the reconfiguration.
         for &n in &st.quarantined {
+            st.pre_fence_budget.insert(n, self.budgets.get(n));
             self.budgets.zero(n);
         }
         st.resize_log.push(ResizeSample {
@@ -893,7 +1002,9 @@ impl JobScheduler {
             node,
             faults: st.node_persistent[node.0],
         });
+        st.pre_fence_budget.insert(node, self.budgets.get(node));
         self.budgets.zero(node);
+        self.schedule_probe(st, node, t);
         let waiting: Vec<JobId> = st.fifo_queue.iter().copied().collect();
         for wid in waiting {
             if !self
@@ -918,6 +1029,72 @@ impl JobScheduler {
                 }
             }
         }
+    }
+
+    /// Schedule the fenced node's next probation probe, if the policy
+    /// grants it one: the `n`-th probe of a node waits
+    /// `window × backoff^n` (hysteresis — a flapping node waits
+    /// exponentially longer each time), and after `max_restores` probes
+    /// the fence is permanent.
+    fn schedule_probe(&mut self, st: &mut RunState, node: NodeId, t: SimTime) {
+        let Some(p) = self.cfg.probation else {
+            return;
+        };
+        let attempts = st.node_probes[node.0];
+        if attempts >= p.max_restores {
+            return; // out of chances: fenced for good
+        }
+        st.node_probes[node.0] = attempts + 1;
+        let mult = u64::from(p.backoff.max(1)).saturating_pow(attempts.min(16));
+        let window = SimDur(p.window.0.saturating_mul(mult)).max(SimDur::from_micros(1));
+        st.events
+            .push(Reverse((t + window, EV_PROBE, node.0 as u64, 0)));
+    }
+
+    /// A probation window elapsed: probe the fenced node by consulting
+    /// the fault plan at fresh ordinals. All-clean restores the node —
+    /// budget back to its pre-fence value, fresh quarantine threshold —
+    /// and re-runs admission; any fault re-schedules the next (longer)
+    /// probe instead.
+    fn on_probe(&mut self, st: &mut RunState, node: NodeId, t: SimTime) -> Result<(), SchedError> {
+        if !st.quarantined.contains(&node) {
+            return Ok(()); // stale probe (already restored)
+        }
+        let Some(p) = self.cfg.probation else {
+            return Ok(());
+        };
+        let clean = match &self.cfg.fault_plan {
+            Some(plan) => {
+                let mut clean = true;
+                for _ in 0..p.probes.max(1) {
+                    let ord = st.fault_ordinals[node.0];
+                    st.fault_ordinals[node.0] += 1;
+                    if plan.decide(node, ord).is_some() {
+                        clean = false;
+                        // Later ordinals stay unconsumed: the next probe
+                        // re-tests the stream where this one gave up.
+                        break;
+                    }
+                }
+                clean
+            }
+            None => true,
+        };
+        if !clean {
+            self.schedule_probe(st, node, t);
+            return Ok(());
+        }
+        let budget = st.pre_fence_budget.get(&node).copied().unwrap_or(0);
+        self.budgets.set(node, budget);
+        st.quarantined.remove(&node);
+        st.node_persistent[node.0] = 0;
+        st.restore_log.push(RestoreSample {
+            at: t,
+            node,
+            attempt: st.node_probes[node.0],
+            budget,
+        });
+        self.admit_pass(st, t)
     }
 
     /// Displace a faulted job: release the reservation, keep the
@@ -1030,23 +1207,31 @@ impl JobScheduler {
         }
     }
 
+    /// Placement: the least fault-pressured leaf (with
+    /// [`SchedulerConfig::fault_aware_placement`]; pressure is zero for
+    /// every leaf otherwise) whose subtree has the shallowest work
+    /// queues; ties break toward the lowest leaf id. Pressure dominates
+    /// depth so chains drift off a sickening node *before* its
+    /// quarantine threshold trips.
     fn place(&self, st: &RunState) -> Result<NodeId, SchedError> {
-        let mut best: Option<(usize, NodeId)> = None;
+        let mut best: Option<(u64, usize, NodeId)> = None;
         for leaf in self.tree.leaves() {
             if path_quarantined(&self.tree, &st.quarantined, leaf.id) {
                 continue;
             }
             let anchor = subtree_anchor(&self.tree, leaf.id);
             let depth = st.wq.subtree_depth(&self.tree, anchor);
-            let better = match best {
-                None => true,
-                Some((d, l)) => depth < d || (depth == d && leaf.id < l),
+            let pressure = if self.cfg.fault_aware_placement {
+                path_fault_pressure(&self.tree, &st.node_persistent, leaf.id)
+            } else {
+                0
             };
-            if better {
-                best = Some((depth, leaf.id));
+            let key = (pressure, depth, leaf.id);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
             }
         }
-        best.map(|(_, leaf)| leaf).ok_or(SchedError::NoLeaf)
+        best.map(|(_, _, leaf)| leaf).ok_or(SchedError::NoLeaf)
     }
 
     /// Credit the reservation back and sample the capacity trace (shared
@@ -1524,6 +1709,8 @@ impl JobScheduler {
             preemption_latencies: st.preemption_latencies,
             fault_log: st.fault_log,
             quarantine_log: st.quarantine_log,
+            restore_log: st.restore_log,
+            events: st.events_processed,
             jobs,
         }
     }
@@ -1569,6 +1756,14 @@ struct RunState {
     quarantined: BTreeSet<NodeId>,
     fault_log: Vec<FaultSample>,
     quarantine_log: Vec<QuarantineSample>,
+    /// Probation probes granted per node so far (index = `NodeId.0`);
+    /// bounds restores and drives the hysteresis window growth.
+    node_probes: Vec<u32>,
+    /// Budget each fenced node gets back if probation restores it.
+    pre_fence_budget: BTreeMap<NodeId, u64>,
+    restore_log: Vec<RestoreSample>,
+    /// Events the run loop processed (the events/sec numerator).
+    events_processed: u64,
 }
 
 impl RunState {
@@ -1598,6 +1793,10 @@ impl RunState {
             quarantined: BTreeSet::new(),
             fault_log: Vec::new(),
             quarantine_log: Vec::new(),
+            node_probes: vec![0; tree.len()],
+            pre_fence_budget: BTreeMap::new(),
+            restore_log: Vec::new(),
+            events_processed: 0,
         }
     }
 }
@@ -1627,6 +1826,22 @@ fn path_quarantined(tree: &Tree, quarantined: &BTreeSet<NodeId>, leaf: NodeId) -
         match tree.parent(cur) {
             Some(p) => cur = p,
             None => return false,
+        }
+    }
+}
+
+/// Sub-threshold persistent-fault pressure of the root→`leaf` path: the
+/// sum of persistent faults observed on every node a chain placed on
+/// `leaf` would book stages on. The bias signal of fault-aware placement
+/// (and, shard-aggregated, of the federation router).
+fn path_fault_pressure(tree: &Tree, node_persistent: &[u32], leaf: NodeId) -> u64 {
+    let mut pressure = 0u64;
+    let mut cur = leaf;
+    loop {
+        pressure += u64::from(node_persistent.get(cur.0).copied().unwrap_or(0));
+        match tree.parent(cur) {
+            Some(p) => cur = p,
+            None => return pressure,
         }
     }
 }
@@ -2244,5 +2459,178 @@ mod tests {
             quota.makespan,
             free.makespan
         );
+    }
+
+    #[test]
+    fn probation_restores_a_fenced_node_after_a_fault_free_window() {
+        let tree = presets::asymmetric_fig2();
+        let sick = NodeId(1);
+        let bytes = tree.node(sick).mem.capacity / 4;
+        let build = || {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    // Exactly two persistent faults (ordinals 0 and 1);
+                    // every later consultation — the probes included —
+                    // is clean.
+                    fault_plan: Some(
+                        FaultPlan::new(11)
+                            .script(sick, 0, FaultKind::Persistent)
+                            .script(sick, 1, FaultKind::Persistent),
+                    ),
+                    quarantine_after: 2,
+                    probation: Some(Probation {
+                        window: SimDur::from_millis(10),
+                        probes: 4,
+                        backoff: 2,
+                        max_restores: 3,
+                    }),
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..4 {
+                s.submit(free_job(&format!("j{i}"), 3));
+            }
+            // Arrives long after the restore and needs the once-fenced
+            // node's capacity: only a genuinely restored budget admits it.
+            s.submit(
+                JobSpec::new(
+                    "late",
+                    Reservation::new().with(sick, bytes),
+                    JobWork::new(1).read(1 << 20),
+                )
+                .arrival(SimTime::from_secs_f64(5.0)),
+            );
+            s.run().unwrap()
+        };
+        let report = build();
+        assert!(report.all_terminal());
+        assert_eq!(report.quarantined_nodes(), vec![sick]);
+        assert_eq!(report.restored_nodes(), vec![sick]);
+        let restore = report.restore_log[0];
+        assert_eq!(restore.attempt, 1, "first probe was already clean");
+        assert!(restore.budget > 0, "pre-fence budget came back");
+        assert!(restore.at > report.quarantine_log[0].at);
+        assert_eq!(report.count(JobState::Done), 5, "{}", report.summary());
+        assert!(report.summary().contains("restored"));
+        let again = build();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn probation_hysteresis_keeps_an_unstable_node_fenced_for_good() {
+        let tree = presets::asymmetric_fig2();
+        let sick = NodeId(1);
+        let bytes = tree.node(sick).mem.capacity / 4;
+        let mut s = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                // Every consultation faults: each probe finds the node
+                // still dirty, and after `max_restores` probes the fence
+                // is permanent — the run still terminates.
+                fault_plan: Some(FaultPlan::new(7).persistent_rate(65536).on_nodes([sick])),
+                quarantine_after: 2,
+                probation: Some(Probation {
+                    window: SimDur::from_millis(10),
+                    probes: 2,
+                    backoff: 4,
+                    max_restores: 3,
+                }),
+                ..SchedulerConfig::default()
+            },
+        );
+        for i in 0..4 {
+            s.submit(free_job(&format!("j{i}"), 3));
+        }
+        let late = s.submit(
+            JobSpec::new(
+                "late",
+                Reservation::new().with(sick, bytes),
+                JobWork::new(1).read(1 << 20),
+            )
+            .arrival(SimTime::from_secs_f64(30.0)),
+        );
+        let report = s.run().unwrap();
+        assert!(report.all_terminal(), "bounded probes: no infinite probing");
+        assert_eq!(report.quarantined_nodes(), vec![sick]);
+        assert!(report.restored_nodes().is_empty(), "never flapped back in");
+        assert_eq!(report.job(late).state, JobState::Rejected);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn fault_aware_placement_steers_off_a_sickening_leaf_before_quarantine() {
+        let tree = presets::asymmetric_fig2();
+        let sick = NodeId(1);
+        let build = || {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    // The node faults on every booking but the threshold is
+                    // unreachable: only the placement bias can save the jobs.
+                    fault_plan: Some(FaultPlan::new(3).persistent_rate(65536).on_nodes([sick])),
+                    quarantine_after: u32::MAX,
+                    fault_aware_placement: true,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..5 {
+                s.submit(
+                    free_job(&format!("j{i}"), 3).arrival(SimTime::from_secs_f64(0.02 * i as f64)),
+                );
+            }
+            s.run().unwrap()
+        };
+        let report = build();
+        assert!(report.all_terminal());
+        assert!(report.quarantine_log.is_empty(), "threshold never tripped");
+        // The bias signal only exists because something faulted first…
+        assert!(report.fault_log.iter().any(|f| f.node == sick));
+        assert!(*report.node_fault_pressure().get(&sick).unwrap_or(&0) >= 1);
+        // …after which every chain drifted to (or re-routed onto) a
+        // healthy leaf and completed — no job stuck on the sick one.
+        assert_eq!(report.count(JobState::Done), 5, "{}", report.summary());
+        for j in &report.jobs {
+            assert_ne!(j.leaf, Some(sick), "{} ended on the sick leaf", j.name);
+        }
+        let again = build();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn resume_from_skips_checkpointed_chunks_exactly() {
+        let tree = tree();
+        let mut s = JobScheduler::new(tree.clone(), SchedulerConfig::default());
+        // Migrated in with 2 of 4 chunks already done elsewhere: only
+        // chunks 2 and 3 run here, with their original indices.
+        let resumed = s.submit(
+            JobSpec::new(
+                "resumed",
+                Reservation::new(),
+                JobWork::new(4).read(8 << 20).xfer(8 << 20),
+            )
+            .resume_from(2),
+        );
+        // A stale checkpoint claiming more chunks than the work declares
+        // is clamped: nothing runs, the job completes at admission.
+        let ghost = s.submit(
+            JobSpec::new("ghost", Reservation::new(), JobWork::new(3).read(8 << 20)).resume_from(9),
+        );
+        let report = s.run().unwrap();
+        assert!(report.all_terminal());
+        assert_eq!(report.job(resumed).state, JobState::Done);
+        assert_eq!(report.job(resumed).chunks_done, 4);
+        let mut idx: Vec<u32> = report
+            .chunk_log
+            .iter()
+            .filter(|c| c.job == resumed)
+            .map(|c| c.index)
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![2, 3], "checkpointed chunks never re-run");
+        assert_eq!(report.job(ghost).state, JobState::Done);
+        assert_eq!(report.job(ghost).chunks_done, 3, "clamped to the work");
+        assert!(!report.chunk_log.iter().any(|c| c.job == ghost));
+        assert!(report.events > 0);
     }
 }

@@ -15,6 +15,9 @@
 //! * [`sched`] — the multi-tenant job scheduler: admission control over
 //!   per-node capacity reservations, weighted fair queueing, and the
 //!   deterministic service co-simulation.
+//! * [`fleet`] — the federation layer: N shard trees behind a
+//!   deterministic router with cross-shard checkpoint migration and a
+//!   fleet-wide report (DESIGN.md §11).
 //!
 //! See `examples/quickstart.rs` for the 5-minute tour and DESIGN.md for the
 //! full paper-to-code map.
@@ -22,6 +25,7 @@
 pub use northup as core;
 pub use northup_apps as apps;
 pub use northup_exec as exec;
+pub use northup_fleet as fleet;
 pub use northup_hw as hw;
 pub use northup_kernels as kernels;
 pub use northup_sched as sched;
@@ -38,6 +42,7 @@ pub mod prelude {
         hotspot_apu, hotspot_in_memory, matmul_apu, matmul_in_memory, spmv_apu, spmv_in_memory,
         AppRun, BalanceConfig, HotspotConfig, MatmulConfig, SpmvInput,
     };
+    pub use northup_fleet::{Fleet, FleetConfig, FleetJob, FleetReport};
     pub use northup_hw::{catalog, DeviceKind, DeviceSpec, StorageClass};
     pub use northup_sched::{
         AdmissionPolicy, JobScheduler, JobSpec, JobState, JobWork, Priority, Reservation,
