@@ -265,6 +265,26 @@ mod tests {
     }
 
     #[test]
+    fn engine_modules_are_in_scope() {
+        // The event-engine rewrite (calendar queue + digest pinning) must
+        // stay under R1/R2: a wall clock or an unordered map in either
+        // module would silently break bit-identical replay. Pin the scope
+        // so a future exception list can't quietly carve them out.
+        for path in [
+            "crates/sched/src/calendar.rs",
+            "crates/sched/src/digest.rs",
+            "crates/sched/src/scheduler.rs",
+        ] {
+            let f = run(path, "use std::time::Instant;");
+            assert_eq!(f.len(), 1, "{path} escaped R1");
+            assert_eq!(f[0].rule, rules::DETERMINISM_SOURCES);
+            let f = run(path, "use std::collections::HashMap;");
+            assert_eq!(f.len(), 1, "{path} escaped R2");
+            assert_eq!(f[0].rule, rules::ORDERED_ITERATION);
+        }
+    }
+
+    #[test]
     fn unwrap_or_is_not_unwrap() {
         assert!(run("crates/core/src/x.rs", "fn f() { x.unwrap_or(0); }").is_empty());
         assert_eq!(

@@ -1,0 +1,115 @@
+//! Hand-rolled bench-artifact JSON (no `serde_json` in the tree).
+//!
+//! Every committed throughput artifact (`BENCH_sched.json`,
+//! `BENCH_fleet.json`) shares one envelope: the `northup-bench-v2`
+//! schema with a `suite` discriminator, then suite-specific fields in
+//! insertion order. One builder means one escaping/formatting policy and
+//! one parser — the CI regression gates read committed baselines back
+//! with [`field_f64`] instead of each bin growing its own scanner.
+
+use std::fmt::Write as _;
+
+/// The shared schema tag of all committed bench artifacts.
+pub const BENCH_SCHEMA: &str = "northup-bench-v2";
+
+/// Builder for one flat JSON artifact. Field order is insertion order,
+/// so same fields + same values ⇒ byte-identical artifacts.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    body: String,
+}
+
+impl Artifact {
+    /// Start an artifact in the shared envelope: `schema` is
+    /// [`BENCH_SCHEMA`], `suite` names the producing gate.
+    pub fn new(suite: &str) -> Self {
+        let mut a = Artifact {
+            body: String::new(),
+        };
+        a.body.push_str("{\n");
+        a.push_raw("schema", &format!("\"{BENCH_SCHEMA}\""));
+        a.push_raw("suite", &format!("\"{suite}\""));
+        a
+    }
+
+    fn push_raw(&mut self, key: &str, value: &str) {
+        if self.body.len() > 2 {
+            self.body.push_str(",\n");
+        }
+        let _ = write!(self.body, "  \"{key}\": {value}");
+    }
+
+    /// An unsigned integer field.
+    pub fn num(mut self, key: &str, v: u64) -> Self {
+        self.push_raw(key, &v.to_string());
+        self
+    }
+
+    /// A float field with fixed decimals (stable formatting).
+    pub fn float(mut self, key: &str, v: f64, decimals: usize) -> Self {
+        self.push_raw(key, &format!("{v:.decimals$}"));
+        self
+    }
+
+    /// A boolean field.
+    pub fn flag(mut self, key: &str, v: bool) -> Self {
+        self.push_raw(key, if v { "true" } else { "false" });
+        self
+    }
+
+    /// A hex-formatted 64-bit digest field (quoted, zero-padded).
+    pub fn digest(mut self, key: &str, v: u64) -> Self {
+        self.push_raw(key, &format!("\"{v:016x}\""));
+        self
+    }
+
+    /// Close the artifact.
+    pub fn finish(mut self) -> String {
+        self.body.push_str("\n}\n");
+        self.body
+    }
+}
+
+/// Extract a numeric field from a flat artifact produced by
+/// [`Artifact`]: finds `"key":` and parses the following number. Returns
+/// `None` when the key is absent or its value is not numeric (quoted
+/// digests are not numbers on purpose).
+pub fn field_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips_fields() {
+        let json = Artifact::new("sched-engine")
+            .num("jobs", 1_000_000)
+            .float("wall_s", 1.25, 3)
+            .flag("ok", true)
+            .digest("digest", 0xdead_beef)
+            .finish();
+        assert!(json.contains("\"schema\": \"northup-bench-v2\""));
+        assert!(json.contains("\"suite\": \"sched-engine\""));
+        assert_eq!(field_f64(&json, "jobs"), Some(1_000_000.0));
+        assert_eq!(field_f64(&json, "wall_s"), Some(1.25));
+        assert_eq!(field_f64(&json, "digest"), None, "digests are quoted");
+        assert_eq!(field_f64(&json, "missing"), None);
+    }
+
+    #[test]
+    fn same_fields_same_bytes() {
+        let mk = || Artifact::new("s").num("a", 1).finish();
+        assert_eq!(mk(), mk());
+    }
+}

@@ -21,6 +21,7 @@
 
 use northup::{FaultKind, FaultPlan};
 use northup_apps::{fleet_trace, service::TraceConfig};
+use northup_bench::artifact::Artifact;
 use northup_fleet::{chunk_checksum, Fleet, FleetConfig, FleetReport};
 use northup_sched::JobState;
 use std::time::Instant;
@@ -186,37 +187,32 @@ fn write_or_die(path: &str, body: &str) {
     println!("wrote {path}");
 }
 
-/// Hand-rolled throughput artifact (no serde_json in the tree). Wall
-/// time and rates vary run to run; everything else is deterministic.
+/// Throughput artifact in the shared `northup-bench-v2` envelope (see
+/// [`northup_bench::artifact`]). Wall time and rates vary run to run;
+/// everything else is deterministic.
 fn bench_json(
     r: &FleetReport,
     wall_s: f64,
     replay_identical: bool,
     migrated_done: usize,
 ) -> String {
-    format!(
-        "{{\n  \"schema\": \"northup-bench-fleet-v1\",\n  \"seed\": {},\n  \"shards\": {},\n  \
-         \"jobs\": {},\n  \"done\": {},\n  \"failed\": {},\n  \"rejected\": {},\n  \
-         \"events\": {},\n  \"rounds\": {},\n  \"migrations\": {},\n  \"migrated_done\": {},\n  \
-         \"makespan_s\": {:.9},\n  \"wall_s\": {:.3},\n  \"jobs_per_sec\": {:.0},\n  \
-         \"events_per_sec\": {:.0},\n  \"capacity_ok\": {},\n  \"exactly_once\": {},\n  \
-         \"replay_identical\": {}\n}}\n",
-        r.seed,
-        r.shards.len(),
-        r.outcomes.len(),
-        r.count(JobState::Done),
-        r.count(JobState::Failed),
-        r.count(JobState::Rejected),
-        r.events,
-        r.rounds,
-        r.migrations.len(),
-        migrated_done,
-        r.makespan.as_secs_f64(),
-        wall_s,
-        r.outcomes.len() as f64 / wall_s,
-        r.events as f64 / wall_s,
-        r.capacity_ok,
-        r.exactly_once(),
-        replay_identical,
-    )
+    Artifact::new("fleet")
+        .num("seed", r.seed)
+        .num("shards", r.shards.len() as u64)
+        .num("jobs", r.outcomes.len() as u64)
+        .num("done", r.count(JobState::Done) as u64)
+        .num("failed", r.count(JobState::Failed) as u64)
+        .num("rejected", r.count(JobState::Rejected) as u64)
+        .num("events", r.events)
+        .num("rounds", u64::from(r.rounds))
+        .num("migrations", r.migrations.len() as u64)
+        .num("migrated_done", migrated_done as u64)
+        .float("makespan_s", r.makespan.as_secs_f64(), 9)
+        .float("wall_s", wall_s, 3)
+        .float("jobs_per_sec", r.outcomes.len() as f64 / wall_s, 0)
+        .float("events_per_sec", r.events as f64 / wall_s, 0)
+        .flag("capacity_ok", r.capacity_ok)
+        .flag("exactly_once", r.exactly_once())
+        .flag("replay_identical", replay_identical)
+        .finish()
 }

@@ -1,0 +1,249 @@
+//! CI event-engine gate: replay seeded single-scheduler traces through
+//! the calendar-queue engine, pin the schedules against the digests the
+//! pre-rewrite `BinaryHeap` engine produced, and measure sustained
+//! events/s on a 10^6-job trace.
+//!
+//! ```text
+//! cargo run --release -p northup-bench --bin sched_engine
+//! cargo run --release -p northup-bench --bin sched_engine -- out.json BENCH_sched.json
+//! cargo run --release -p northup-bench --bin sched_engine -- --capture
+//! ```
+//!
+//! Exit code is non-zero when the acceptance criteria fail:
+//!
+//! * schedule digests at 32/1k/100k-job scale (plus a 1k chaos profile
+//!   exercising retry, probation, quota, resize, and preemption events)
+//!   must equal the **pre-rewrite** engine's digests, pinned below —
+//!   the engine rewrite must not move a single event;
+//! * two same-seed 10^6-job runs must produce identical digests;
+//! * with a committed baseline (second argument), events/s must not drop
+//!   more than 20% below the baseline's `events_per_sec`.
+//!
+//! `--capture` prints the digests without comparing (used once, against
+//! the old engine, to pin the constants).
+
+use northup::{FaultPlan, Tree};
+use northup_apps::{synthetic_trace, TraceConfig};
+use northup_bench::artifact::{field_f64, Artifact};
+use northup_sched::{
+    report_digest, JobScheduler, JobState, NodeBudgets, Probation, SchedReport, SchedulerConfig,
+    TenantQuota,
+};
+use northup_sim::SimTime;
+use std::time::Instant;
+
+const SEED: u64 = 2026_0807;
+/// Mean inter-arrival gap (µs of virtual time) keeping one fleet-shard
+/// scheduler near saturation: low enough that classes queue and contend,
+/// high enough that the queue drains and ~every job completes.
+const MEAN_GAP_US: u64 = 7_000;
+const PERF_JOBS: usize = 1_000_000;
+
+/// Schedule digests of the pre-rewrite `BinaryHeap` engine (captured
+/// with `--capture` at the commit introducing this gate, before the
+/// calendar-queue engine replaced it). The rewrite contract is that
+/// these never change.
+const EXPECT_CLEAN: [(usize, u64); 3] = [
+    (32, 0x5888_a823_8b27_8f64),
+    (1_000, 0x3d7e_9686_2fc1_8207),
+    (100_000, 0x7a1b_3a70_5162_4de3),
+];
+const EXPECT_CHAOS: (usize, u64) = (1_000, 0x96ef_3603_8234_e5c4);
+
+fn tree() -> Tree {
+    northup::presets::fleet_shard()
+}
+
+fn trace_cfg(jobs: usize) -> TraceConfig {
+    TraceConfig {
+        jobs,
+        seed: SEED,
+        mean_gap_us: MEAN_GAP_US,
+        scale: 32,
+    }
+}
+
+fn clean_cfg() -> SchedulerConfig {
+    SchedulerConfig {
+        max_queue: 8192,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// The chaos profile: every optional event source switched on, so the
+/// digest pins retry (EV_RETRY), probation probes (EV_PROBE), quota
+/// wakes (EV_QUOTA), a live resize (EV_RESIZE), and preemption paths on
+/// the calendar queue — not just arrivals and stage completions.
+fn chaos_cfg() -> SchedulerConfig {
+    SchedulerConfig {
+        max_queue: 8192,
+        preempt: true,
+        tenant_quota: Some(TenantQuota::new(48e9, 24e9)),
+        fault_plan: Some(FaultPlan::new(SEED).transient_rate(400).persistent_rate(24)),
+        quarantine_after: 3,
+        probation: Some(Probation::default()),
+        ..SchedulerConfig::default()
+    }
+}
+
+fn run(jobs: usize, cfg: SchedulerConfig, resize: bool) -> SchedReport {
+    let tree = tree();
+    let trace = synthetic_trace(&tree, &trace_cfg(jobs));
+    let mut sched = JobScheduler::new(tree.clone(), cfg);
+    for spec in trace {
+        sched.submit(spec);
+    }
+    if resize {
+        // One mid-trace shrink-and-recover so EV_RESIZE is on the queue.
+        let full = NodeBudgets::from_tree(&tree, 1.0);
+        sched.resize_budgets(SimTime::from_secs_f64(0.5), full.scaled(0.6));
+        sched.resize_budgets(SimTime::from_secs_f64(1.5), full);
+    }
+    sched.run().unwrap_or_else(|e| {
+        eprintln!("sched_engine: run failed: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    let capture = first.as_deref() == Some("--capture");
+    let bench_path = if capture { None } else { first };
+    let baseline_path = args.next();
+
+    let mut failures = Vec::new();
+
+    println!("== sched engine gate: seed {SEED}, gap {MEAN_GAP_US} µs ==");
+    let mut digests = Vec::new();
+    for (jobs, expect) in EXPECT_CLEAN {
+        let r = run(jobs, clean_cfg(), false);
+        let d = report_digest(&r);
+        digests.push((format!("clean_{jobs}"), d));
+        println!(
+            "  clean {jobs:>7} jobs: digest {d:016x}  events {:>9}  done {:>7}  {}",
+            r.events,
+            r.count(JobState::Done),
+            if capture {
+                "captured".to_string()
+            } else if d == expect {
+                "ok".to_string()
+            } else {
+                format!("DRIFT (pinned {expect:016x})")
+            },
+        );
+        if !capture && d != expect {
+            failures.push(format!(
+                "schedule digest drift at {jobs}-job scale: {d:016x} != pinned {expect:016x}"
+            ));
+        }
+    }
+    {
+        let (jobs, expect) = EXPECT_CHAOS;
+        let r = run(jobs, chaos_cfg(), true);
+        let d = report_digest(&r);
+        digests.push((format!("chaos_{jobs}"), d));
+        println!(
+            "  chaos {jobs:>7} jobs: digest {d:016x}  events {:>9}  faults {:>5}  {}",
+            r.events,
+            r.fault_log.len(),
+            if capture {
+                "captured".to_string()
+            } else if d == expect {
+                "ok".to_string()
+            } else {
+                format!("DRIFT (pinned {expect:016x})")
+            },
+        );
+        if r.fault_log.is_empty() {
+            failures.push("chaos profile injected nothing".to_string());
+        }
+        if !capture && d != expect {
+            failures.push(format!(
+                "chaos digest drift at {jobs}-job scale: {d:016x} != pinned {expect:016x}"
+            ));
+        }
+    }
+    if capture {
+        println!("-- capture mode: pin these in sched_engine.rs --");
+        for (name, d) in &digests {
+            println!("  {name}: 0x{d:016x}");
+        }
+        return;
+    }
+
+    // The 10^6-job perf run: wall-clock the engine, then replay for
+    // determinism at scale.
+    let wall = Instant::now();
+    let report = run(PERF_JOBS, clean_cfg(), false);
+    let wall_s = wall.elapsed().as_secs_f64();
+    let digest = report_digest(&report);
+    let events_per_sec = report.events as f64 / wall_s;
+    println!("{}", report.summary());
+    println!(
+        "{:>10.2}s wall  {:>10.0} jobs/s  {:>12.0} events/s  {} events  digest {digest:016x}",
+        wall_s,
+        PERF_JOBS as f64 / wall_s,
+        events_per_sec,
+        report.events,
+    );
+    let done = report.count(JobState::Done);
+    if done * 10 < PERF_JOBS * 9 {
+        failures.push(format!(
+            "only {done}/{PERF_JOBS} jobs done — the trace no longer saturates sensibly"
+        ));
+    }
+
+    let replay = run(PERF_JOBS, clean_cfg(), false);
+    if report_digest(&replay) != digest {
+        failures.push("10^6-job replay diverged between same-seed runs".to_string());
+    }
+
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match field_f64(&text, "events_per_sec") {
+                Some(base) if events_per_sec < base * 0.8 => failures.push(format!(
+                    "events/s regression: {events_per_sec:.0} < 80% of baseline {base:.0}"
+                )),
+                Some(base) => println!(
+                    "baseline {base:.0} events/s: {:.1}% of baseline",
+                    100.0 * events_per_sec / base
+                ),
+                None => failures.push(format!("baseline {path} has no events_per_sec")),
+            },
+            Err(e) => failures.push(format!("cannot read baseline {path}: {e}")),
+        }
+    }
+
+    if let Some(path) = &bench_path {
+        let mut a = Artifact::new("sched-engine")
+            .num("seed", SEED)
+            .num("jobs", PERF_JOBS as u64)
+            .num("done", done as u64)
+            .num("rejected", report.count(JobState::Rejected) as u64)
+            .num("events", report.events)
+            .float("makespan_s", report.makespan.as_secs_f64(), 9)
+            .float("wall_s", wall_s, 3)
+            .float("jobs_per_sec", PERF_JOBS as f64 / wall_s, 0)
+            .float("events_per_sec", events_per_sec, 0)
+            .digest("digest_perf", digest);
+        for (name, d) in &digests {
+            a = a.digest(&format!("digest_{name}"), *d);
+        }
+        let json = a.flag("replay_identical", true).finish();
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("sched_engine: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+
+    if failures.is_empty() {
+        println!("sched engine gate: OK ({events_per_sec:.0} events/s)");
+    } else {
+        for f in &failures {
+            eprintln!("sched engine gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
+
 use northup::{presets, ExecMode, NorthupError, RunReport, Runtime};
 use northup_apps::{
     fig11_speedup, hotspot_apu, hotspot_in_memory, matmul_apu, matmul_in_memory, spmv_apu,

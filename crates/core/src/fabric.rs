@@ -187,6 +187,20 @@ impl ChunkWork {
     }
 }
 
+/// A maximal run of consecutive chain stages served by the same tree
+/// node. Schedulers that walk a chain stage-by-stage can instead book a
+/// whole run against that node's resource in one pass — the run
+/// boundaries are exactly where a chunk changes failure domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRun {
+    /// Index of the first stage of the run in `ChunkChain::stages`.
+    pub start: u32,
+    /// Number of consecutive stages in the run.
+    pub len: u32,
+    /// The dense tree node serving every stage of the run.
+    pub node: NodeId,
+}
+
 /// A compiled stage chain: the ordered, costed stages one chunk passes
 /// through when placed on `leaf`, executed `chunks` times in sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +211,12 @@ pub struct ChunkChain {
     pub work: ChunkWork,
     /// The costed stages of one chunk, zero-cost stages skipped.
     pub stages: Vec<ChainStage>,
+    /// The serving node of each stage (`stages[i]` ↔ `nodes[i]`), i.e.
+    /// `stage.node(root)` precomputed as dense ids so hot schedulers
+    /// never re-derive failure domains per event.
+    pub nodes: Vec<NodeId>,
+    /// Maximal consecutive same-node stage runs over `stages`.
+    pub runs: Vec<StageRun>,
     /// How many sequential chunks the chain runs.
     pub chunks: u32,
 }
@@ -296,10 +316,25 @@ pub fn build_chain(tree: &Tree, leaf: NodeId, work: ChunkWork, chunks: u32) -> C
             cost: StageCost::bytes(work.write_bytes),
         });
     }
+    let root = tree.root();
+    let nodes: Vec<NodeId> = stages.iter().map(|s| s.stage.node(root)).collect();
+    let mut runs: Vec<StageRun> = Vec::new();
+    for (i, &n) in nodes.iter().enumerate() {
+        match runs.last_mut() {
+            Some(r) if r.node == n => r.len += 1,
+            _ => runs.push(StageRun {
+                start: i as u32,
+                len: 1,
+                node: n,
+            }),
+        }
+    }
     ChunkChain {
         leaf,
         work,
         stages,
+        nodes,
+        runs,
         chunks,
     }
 }
@@ -420,5 +455,53 @@ mod tests {
     fn checkpoint_tokens_advance_per_chunk() {
         assert_eq!(Checkpoint::START.next_chunk, 0);
         assert_eq!(Checkpoint::after(5).next_chunk, 5);
+    }
+
+    /// The precompiled `nodes` and `runs` vectors are derived views of
+    /// `stages` — the hot schedulers index them blindly, so they must
+    /// stay mutually consistent for every work shape (zero-cost stages
+    /// skipped, single-stage chains, deeper asymmetric trees included).
+    #[test]
+    fn compiled_nodes_and_runs_tile_the_stages() -> Result<(), crate::TopologyError> {
+        let shapes = [
+            ChunkWork::new()
+                .read(8)
+                .xfer(8)
+                .compute(SimDur::from_micros(1))
+                .write(8),
+            ChunkWork::new().read(1),
+            ChunkWork::new().xfer(4).compute(SimDur::from_micros(2)),
+            ChunkWork::new(),
+        ];
+        for tree in [tree(), presets::asymmetric_fig2()] {
+            let root = tree.root();
+            for leaf in tree.leaves().map(|l| l.id).collect::<Vec<_>>() {
+                for work in shapes {
+                    let chain = build_chain(&tree, leaf, work, 1);
+                    // nodes[i] is stages[i]'s failure domain, precomputed.
+                    assert_eq!(chain.nodes.len(), chain.stages.len());
+                    for (cs, &n) in chain.stages.iter().zip(&chain.nodes) {
+                        assert_eq!(n, cs.stage.node(root));
+                    }
+                    // runs tile 0..stages.len() contiguously, each run is
+                    // maximal (adjacent runs never share a node), and each
+                    // covers stages served by exactly its node.
+                    let mut next = 0u32;
+                    for (i, r) in chain.runs.iter().enumerate() {
+                        assert_eq!(r.start, next, "runs must tile contiguously");
+                        assert!(r.len > 0, "empty run");
+                        for j in r.start..r.start + r.len {
+                            assert_eq!(chain.nodes[j as usize], r.node);
+                        }
+                        if i > 0 {
+                            assert_ne!(chain.runs[i - 1].node, r.node, "run not maximal");
+                        }
+                        next += r.len;
+                    }
+                    assert_eq!(next as usize, chain.stages.len());
+                }
+            }
+        }
+        Ok(())
     }
 }

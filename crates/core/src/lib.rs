@@ -78,7 +78,7 @@ pub use data::BufferHandle;
 pub use error::{NorthupError, Result};
 pub use fabric::{
     build_chain, ChainStage, Checkpoint, ChunkChain, ChunkWork, Fabric, FabricError, Stage,
-    StageCost,
+    StageCost, StageRun,
 };
 pub use fault::{FaultKind, FaultPlan, RetryPolicy};
 pub use lease::CapacityLease;

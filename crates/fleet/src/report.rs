@@ -289,12 +289,11 @@ pub(crate) fn build(data: RunData) -> FleetReport {
             Some(r) => {
                 let peak = r
                     .max_committed
-                    .values()
+                    .iter()
                     .fold(0u64, |a, &b| a.saturating_add(b));
                 let capacity_ok = r
-                    .max_committed
-                    .iter()
-                    .all(|(&node, &peak)| peak <= data.budgets.get(node));
+                    .max_committed_pairs()
+                    .all(|(node, peak)| peak <= data.budgets.get(node));
                 ShardSummary {
                     shard: s as u32,
                     jobs: data.traces[s].len() as u64,

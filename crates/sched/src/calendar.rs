@@ -1,0 +1,504 @@
+//! Bucketed calendar queue: the event engine's priority queue for
+//! million-job traces (DESIGN.md §12).
+//!
+//! A Brown-style calendar queue replaces the former
+//! `BinaryHeap<Reverse<(SimTime, u8, u64, u64)>>`: a ring of
+//! power-of-two-width *buckets* covers the near future, and everything
+//! beyond the ring's horizon waits in a lazily-sorted *overflow* pile.
+//! Pushes into the horizon are O(1) bucket appends; pops sort one small
+//! bucket at a time instead of sifting a million-entry heap, so the hot
+//! path touches a few contiguous cache lines rather than log₂(n)
+//! scattered ones.
+//!
+//! **Ordering contract.** [`CalendarQueue::pop`] yields events in
+//! ascending `(SimTime, kind, id, seq)` order — the exact tuple order the
+//! heap produced, tie-broken by the same `(kind, id)` fields — so a run
+//! driven by the calendar queue is *bit-identical* to a heap-driven run.
+//! Identical tuples are interchangeable (the engine never distinguishes
+//! two equal events), which is why the per-bucket `sort_unstable` is
+//! safe. The property tests in `crates/sched/tests/calendar_props.rs`
+//! drain random interleaved push/pop streams against a `BinaryHeap`
+//! oracle and require equality element for element.
+//!
+//! **Packed storage.** Internally every event lives as a 16-byte
+//! `(time_ns, kind·2⁵⁶ | id·2¹⁶ | seq)` pair rather than the 32-byte
+//! public tuple, halving the bytes every bucket sort and overflow
+//! memmove has to move. Packing is order-preserving — lexicographic
+//! order on the pair equals tuple order on `(SimTime, kind, id, seq)` —
+//! provided `id < 2⁴⁰` and `seq < 2¹⁶`, which the engine guarantees
+//! (ids are dense job/node/tenant indices and `seq` is always 0 there)
+//! and `push` enforces with debug assertions.
+//!
+//! **Monotonicity.** The simulation only schedules into the future, so
+//! pushes at or after the current head time are the fast path. A push
+//! *behind* the head (possible only for same-instant work during event
+//! dispatch) is clamped into the active bucket, which the pop path keeps
+//! sorted — exactly matching heap semantics, where a pop always returns
+//! the minimum of whatever remains.
+//!
+//! Determinism: bucket geometry adapts only to event *times* already in
+//! the queue (integer arithmetic, no clocks, no randomness), so one
+//! event stream ⇒ one pop order, bit for bit.
+
+use northup_sim::SimTime;
+
+/// One engine event: `(time, kind, id, seq)`, compared lexicographically.
+/// `id` must fit in 40 bits and `seq` in 16 (see the packed-storage note
+/// in the module docs); both hold by construction for every engine event.
+pub type Event = (SimTime, u8, u64, u64);
+
+/// Internal 16-byte representation: `(time_ns, key)` with
+/// `key = kind << 56 | id << 16 | seq`. Natural tuple order on the pair
+/// equals [`Event`] tuple order within the documented field bounds.
+type Packed = (u64, u64);
+
+#[inline]
+fn pack(ev: Event) -> Packed {
+    let (t, kind, id, seq) = ev;
+    debug_assert!(id < 1 << 40, "event id {id} overflows the 40-bit pack");
+    debug_assert!(seq < 1 << 16, "event seq {seq} overflows the 16-bit pack");
+    (t.0, (kind as u64) << 56 | id << 16 | seq)
+}
+
+#[inline]
+fn unpack(p: Packed) -> Event {
+    let (t, key) = p;
+    (
+        SimTime(t),
+        (key >> 56) as u8,
+        (key >> 16) & ((1 << 40) - 1),
+        key & 0xFFFF,
+    )
+}
+
+/// Number of ring buckets. Power of two so the slot math stays shifts;
+/// 4096 buckets × a few events each keeps per-pop sorts tiny while the
+/// horizon stays wide enough that steady-state traffic rarely lands in
+/// overflow.
+const RING_BUCKETS: usize = 4096;
+
+/// Target mean events per bucket when the width is re-derived at an
+/// overflow refill.
+const TARGET_PER_BUCKET: u64 = 4;
+
+/// A bucketed calendar queue over [`Event`]s, drop-in for a min-heap.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// The near-future ring; slot `(head + k) % RING_BUCKETS` covers
+    /// virtual nanoseconds `[floor + k·width, floor + (k+1)·width)`.
+    ring: Vec<Vec<Packed>>,
+    /// Index of the active (earliest) bucket.
+    head: usize,
+    /// Start of the active bucket's window, in virtual nanoseconds.
+    floor: u64,
+    /// Bucket width in nanoseconds (always ≥ 1, always a power of two).
+    width: u64,
+    /// Whether the active bucket is currently sorted (descending, so
+    /// pops take the minimum from the back in O(1)).
+    active_sorted: bool,
+    /// Events at or beyond the ring's horizon, sorted descending when
+    /// `overflow_sorted` (the earliest events sit at the back).
+    overflow: Vec<Packed>,
+    overflow_sorted: bool,
+    /// Earliest time waiting in `overflow` (`u64::MAX` when empty). The
+    /// pop path compares it against the active window: as the ring
+    /// slides forward its horizon can overtake overflow events, and
+    /// those must be merged back in *before* the active bucket is
+    /// trusted — otherwise a later ring event would pop first.
+    overflow_min: u64,
+    /// Events currently stored in ring buckets (not overflow).
+    in_ring: usize,
+    /// Total events stored.
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue anchored at virtual time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            head: 0,
+            floor: 0,
+            width: 1 << 12, // 4.096 µs: re-derived at the first refill
+            active_sorted: true,
+            overflow: Vec::new(),
+            overflow_sorted: true,
+            overflow_min: u64::MAX,
+            in_ring: 0,
+            len: 0,
+        }
+    }
+
+    /// Events stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// End of the ring's coverage: events at or past this go to overflow.
+    fn horizon(&self) -> u64 {
+        self.floor
+            .saturating_add(self.width.saturating_mul(RING_BUCKETS as u64))
+    }
+
+    /// Insert an event. O(1) for future events within the horizon (the
+    /// overwhelming case); a same-instant push behind the head clamps
+    /// into the active bucket in sorted position.
+    pub fn push(&mut self, ev: Event) {
+        let p = pack(ev);
+        self.len += 1;
+        if p.0 < self.horizon() {
+            self.place_in_ring(p);
+        } else {
+            // Past the horizon: pile it up, sort lazily at the refill.
+            if self.overflow_sorted {
+                self.overflow_sorted = match self.overflow.last() {
+                    Some(last) => *last >= p,
+                    None => true,
+                };
+            }
+            self.overflow_min = self.overflow_min.min(p.0);
+            self.overflow.push(p);
+        }
+    }
+
+    /// Store an event that lies inside the current horizon in its ring
+    /// bucket. Past-the-head times clamp into the active bucket, kept
+    /// pop-ready when it is already sorted.
+    fn place_in_ring(&mut self, p: Packed) {
+        let t = p.0;
+        if t < self.floor.saturating_add(self.width) {
+            // Active bucket (including clamped past-time pushes): keep
+            // it pop-ready if it is already sorted.
+            if self.active_sorted && !self.ring[self.head].is_empty() {
+                let bucket = &mut self.ring[self.head];
+                // Descending order: find where `p` belongs so the back
+                // stays the minimum.
+                let pos = bucket.partition_point(|e| *e > p);
+                bucket.insert(pos, p);
+            } else {
+                self.ring[self.head].push(p);
+                self.active_sorted = self.ring[self.head].len() == 1;
+            }
+        } else {
+            let slot = (self.head + ((t - self.floor) / self.width) as usize) % RING_BUCKETS;
+            self.ring[slot].push(p);
+        }
+        self.in_ring += 1;
+    }
+
+    /// Remove and return the minimum event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_nonempty();
+        let bucket = &mut self.ring[self.head];
+        if !self.active_sorted {
+            bucket.sort_unstable_by(|a, b| b.cmp(a));
+            self.active_sorted = true;
+        }
+        let ev = bucket.pop();
+        debug_assert!(ev.is_some(), "len accounting out of sync");
+        self.len -= 1;
+        self.in_ring -= 1;
+        ev.map(unpack)
+    }
+
+    /// The minimum event without removing it, or `None` when empty.
+    /// Advances/sorts internally (amortized against the matching pop).
+    pub fn peek(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_nonempty();
+        let bucket = &mut self.ring[self.head];
+        if !self.active_sorted {
+            bucket.sort_unstable_by(|a, b| b.cmp(a));
+            self.active_sorted = true;
+        }
+        bucket.last().copied().map(unpack)
+    }
+
+    /// Advance `head` to the first non-empty bucket, refilling the ring
+    /// from overflow when the ring runs dry. Callers guarantee
+    /// `self.len > 0`.
+    fn advance_to_nonempty(&mut self) {
+        loop {
+            if self.in_ring == 0 {
+                self.refill_from_overflow();
+            }
+            // The window slides forward as `head` walks, so its horizon
+            // can overtake events parked in overflow. Merge them back
+            // before trusting the active bucket: without this, a ring
+            // event later than the overflow minimum would pop first.
+            if self.overflow_min < self.floor.saturating_add(self.width) {
+                self.merge_overdue_overflow();
+            }
+            if !self.ring[self.head].is_empty() {
+                return;
+            }
+            // The ring holds *something*, so this walk terminates within
+            // one revolution; each step is a pointer compare.
+            self.head = (self.head + 1) % RING_BUCKETS;
+            self.floor = self.floor.saturating_add(self.width);
+            self.active_sorted = false;
+        }
+    }
+
+    /// Move every overflow event the horizon has overtaken into the
+    /// ring. Called only when `overflow_min` has fallen inside the
+    /// active bucket's window, which is rare (the window must slide a
+    /// full horizon past a push), so the sort amortizes away.
+    fn merge_overdue_overflow(&mut self) {
+        if !self.overflow_sorted {
+            self.overflow.sort_unstable_by(|a, b| b.cmp(a));
+            self.overflow_sorted = true;
+        }
+        let horizon = self.horizon();
+        while let Some(p) = self.overflow.last() {
+            if p.0 >= horizon {
+                break;
+            }
+            let p = match self.overflow.pop() {
+                Some(p) => p,
+                None => break,
+            };
+            self.place_in_ring(p);
+        }
+        self.overflow_min = match self.overflow.last() {
+            Some(p) => p.0,
+            None => u64::MAX,
+        };
+    }
+
+    /// The ring ran dry: jump the window to the earliest overflow event,
+    /// re-derive the bucket width from the observed event density, and
+    /// move every overflow event inside the new horizon into the ring.
+    fn refill_from_overflow(&mut self) {
+        debug_assert!(!self.overflow.is_empty(), "refill with nothing queued");
+        if !self.overflow_sorted {
+            // Descending: earliest events at the back, popped first.
+            self.overflow.sort_unstable_by(|a, b| b.cmp(a));
+            self.overflow_sorted = true;
+        }
+        let earliest = match self.overflow.last() {
+            Some(p) => p.0,
+            None => return,
+        };
+        // Width from density: span of the next ~TARGET_PER_BUCKET-per-
+        // bucket chunk of overflow, rounded up to a power of two. Pure
+        // integer arithmetic over queued times — deterministic.
+        let probe = (RING_BUCKETS as u64 * TARGET_PER_BUCKET) as usize;
+        let latest_probe = if self.overflow.len() > probe {
+            self.overflow[self.overflow.len() - probe].0
+        } else {
+            match self.overflow.first() {
+                Some(p) => p.0,
+                None => earliest,
+            }
+        };
+        let span = latest_probe.saturating_sub(earliest).max(1);
+        self.width = (span / RING_BUCKETS as u64).max(1).next_power_of_two();
+        self.head = 0;
+        self.floor = earliest;
+        self.active_sorted = false;
+        let horizon = self.horizon();
+        while let Some(p) = self.overflow.last() {
+            let t = p.0;
+            if t >= horizon {
+                break;
+            }
+            let slot = ((t - self.floor) / self.width) as usize % RING_BUCKETS;
+            let p = match self.overflow.pop() {
+                Some(p) => p,
+                None => break,
+            };
+            self.ring[slot].push(p);
+            self.in_ring += 1;
+        }
+        self.overflow_min = match self.overflow.last() {
+            Some(p) => p.0,
+            None => u64::MAX,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn ev(t: u64, kind: u8, id: u64) -> Event {
+        (SimTime(t), kind, id, 0)
+    }
+
+    #[test]
+    fn pack_preserves_tuple_order_and_roundtrips() {
+        let samples = [
+            ev(0, 0, 0),
+            ev(0, 0, 1),
+            ev(0, 6, (1 << 40) - 1),
+            (SimTime(0), 6, (1 << 40) - 1, (1 << 16) - 1),
+            ev(7, 3, 12),
+            (SimTime(7), 3, 12, 9),
+            ev(u64::MAX, 6, 42),
+        ];
+        for &a in &samples {
+            assert_eq!(unpack(pack(a)), a, "roundtrip");
+            for &b in &samples {
+                assert_eq!(pack(a).cmp(&pack(b)), a.cmp(&b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn drains_in_tuple_order() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(500, 5, 2));
+        q.push(ev(10, 0, 9));
+        q.push(ev(10, 0, 1));
+        q.push(ev(10, 1, 0));
+        q.push(ev(1 << 40, 6, 3)); // far future: overflow
+        q.push(ev(0, 5, 0));
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(
+            out,
+            vec![
+                ev(0, 5, 0),
+                ev(10, 0, 1),
+                ev(10, 0, 9),
+                ev(10, 1, 0),
+                ev(500, 5, 2),
+                ev(1 << 40, 6, 3),
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_pushes_match_heap_order() {
+        // Deterministic pseudo-random stream (splitmix64), interleaving
+        // pushes and pops, with pushes always at/after the current time —
+        // the engine's monotone future-event property.
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut q = CalendarQueue::new();
+        let mut state = 0x1234_5678_u64;
+        let mut rnd = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut now = 0u64;
+        for i in 0..50_000u64 {
+            let r = rnd();
+            if r % 3 != 0 || q.is_empty() {
+                let dt = r % 100_000; // near future and far future mixed
+                let dt = if r % 17 == 0 { dt * 1000 } else { dt };
+                let e = (SimTime(now + dt), (r % 7) as u8, i, 0);
+                heap.push(Reverse(e));
+                q.push(e);
+            } else {
+                let a = heap.pop().map(|Reverse(e)| e);
+                let b = q.pop();
+                assert_eq!(a, b, "divergence mid-stream");
+                if let Some(e) = a {
+                    now = e.0 .0;
+                }
+            }
+        }
+        loop {
+            let a = heap.pop().map(|Reverse(e)| e);
+            let b = q.pop();
+            assert_eq!(a, b, "divergence in the drain");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn past_time_push_still_pops_first() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(1000, 0, 1));
+        assert_eq!(q.pop(), Some(ev(1000, 0, 1)));
+        // Behind the head now — clamped, but still the minimum remaining.
+        q.push(ev(2000, 0, 2));
+        q.push(ev(500, 0, 3));
+        assert_eq!(q.pop(), Some(ev(500, 0, 3)));
+        assert_eq!(q.pop(), Some(ev(2000, 0, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_overtaken_by_sliding_window_pops_in_order() {
+        // Regression for a bug the property tests caught: an event
+        // beyond the initial horizon waits in overflow; popping a deep
+        // ring event slides the window forward so a *later* push lands
+        // in the ring. The overflow event must still pop first.
+        let mut q = CalendarQueue::new();
+        q.push(ev(16_384_000, 0, 1)); // deep in the ring
+        q.push(ev(17_000_000, 0, 2)); // beyond the initial horizon
+        assert_eq!(q.pop(), Some(ev(16_384_000, 0, 1)));
+        q.push(ev(20_000_000, 0, 3)); // inside the slid horizon
+        assert_eq!(q.pop(), Some(ev(17_000_000, 0, 2)));
+        assert_eq!(q.pop(), Some(ev(20_000_000, 0, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for t in [7u64, 3, 900_000, 3, 12] {
+            q.push(ev(t, 2, t));
+        }
+        while !q.is_empty() {
+            let p = q.peek();
+            assert_eq!(p, q.pop());
+        }
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn million_distant_arrivals_drain_sorted() {
+        // Mimics the seeded-arrival shape of a million-job trace: all
+        // pushes up front, spanning hours of virtual time, then a full
+        // drain through repeated overflow refills.
+        let mut q = CalendarQueue::new();
+        let mut state = 9u64;
+        let n = 200_000u64;
+        for i in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            q.push((SimTime(state % (1 << 42)), 5, i, 0));
+        }
+        assert_eq!(q.len(), n as usize);
+        let mut prev: Option<Event> = None;
+        let mut count = 0usize;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!(p <= e, "out of order: {p:?} then {e:?}");
+            }
+            prev = Some(e);
+            count += 1;
+        }
+        assert_eq!(count, n as usize);
+    }
+}

@@ -69,6 +69,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
+pub mod digest;
 pub mod error;
 pub mod fabric;
 pub mod job;
@@ -76,6 +78,8 @@ pub mod real;
 pub mod reserve;
 pub mod scheduler;
 
+pub use calendar::CalendarQueue;
+pub use digest::report_digest;
 pub use error::SchedError;
 pub use fabric::SimFabric;
 pub use job::{JobId, JobSpec, JobState, JobWork, Priority, TenantId};
@@ -84,7 +88,7 @@ pub use reserve::{NodeBudgets, Reservation, TenantQuota};
 pub use scheduler::{
     staging_reservation, AdmissionEvent, AdmissionEventKind, AdmissionPolicy, CapacitySample,
     ChunkSample, FaultOutcome, FaultSample, JobOutcome, JobScheduler, Probation, QuarantineSample,
-    ResizeDrain, ResizeSample, RestoreSample, SchedReport, SchedulerConfig,
+    ResizeDrain, ResizeSample, RestoreSample, SchedReport, SchedulerConfig, SpillSample,
 };
 // Re-export the shared IR (and the failure-domain vocabulary) so
 // scheduler users need not depend on `northup` directly.

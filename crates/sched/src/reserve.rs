@@ -148,10 +148,12 @@ impl NodeBudgets {
         r.iter().all(|(n, b)| b <= self.get(n))
     }
 
-    /// Whether `r` fits on top of the currently committed bytes.
-    pub fn fits(&self, committed: &BTreeMap<NodeId, u64>, r: &Reservation) -> bool {
+    /// Whether `r` fits on top of the currently committed bytes
+    /// (`committed` is a dense per-node vector indexed by `NodeId.0`,
+    /// shorter-than-tree vectors read as zero).
+    pub fn fits(&self, committed: &[u64], r: &Reservation) -> bool {
         r.iter().all(|(n, b)| {
-            let used = committed.get(&n).copied().unwrap_or(0);
+            let used = committed.get(n.0).copied().unwrap_or(0);
             used.saturating_add(b) <= self.get(n)
         })
     }
@@ -222,9 +224,9 @@ mod tests {
         let cap = budgets.get(dram);
         let r = Reservation::new().with(dram, cap / 2 + 1);
         assert!(budgets.feasible(&r));
-        let mut committed = BTreeMap::new();
+        let mut committed = vec![0u64; tree.len()];
         assert!(budgets.fits(&committed, &r));
-        committed.insert(dram, cap / 2 + 1);
+        committed[dram.0] = cap / 2 + 1;
         assert!(!budgets.fits(&committed, &r), "two halves-plus-one exceed");
     }
 }

@@ -73,7 +73,7 @@ proptest! {
                 s.node, s.committed, budget
             );
         }
-        for (&node, &peak) in report.max_committed.iter() {
+        for (node, peak) in report.max_committed_pairs() {
             prop_assert!(peak <= tree.node(node).mem.capacity);
         }
     }

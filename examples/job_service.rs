@@ -40,7 +40,7 @@ fn main() {
 
         if policy == AdmissionPolicy::WeightedFair {
             println!("  admission order: {:?}", &report.admission_order[..8]);
-            let peak = report.max_committed.get(&dram).copied().unwrap_or(0);
+            let peak = report.max_committed.get(dram.0).copied().unwrap_or(0);
             println!(
                 "  peak DRAM committed: {} MiB of {} MiB budget",
                 peak >> 20,
