@@ -1,0 +1,356 @@
+//! Findings-baseline diff mode.
+//!
+//! `analyze --baseline analyze-baseline.json` gates CI on **new**
+//! findings only: the baseline file is a previously committed `--json`
+//! report, and a current failing finding is *new* when the baseline
+//! holds fewer findings with the same `(rule, path, message)` key than
+//! the current report does. Line numbers are deliberately not part of
+//! the key — pure line shifts from unrelated edits must not trip the
+//! gate, while a second violation of the same kind in the same file
+//! (one more than baseline) must.
+//!
+//! The crate is dependency-free, so the baseline is read with the small
+//! recursive-descent JSON parser below (the dual of [`crate::json`]'s
+//! emitter).
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Report};
+
+/// A parsed JSON value (just enough for report files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (reports only hold small integers).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Val>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        match self {
+            Val::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Val]> {
+        match self {
+            Val::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset for diagnostics.
+pub fn parse(src: &str) -> Result<Val, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    b: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Val::Str(self.string()?)),
+            Some('t') => self.keyword("true", Val::Bool(true)),
+            Some('f') => self.keyword("false", Val::Bool(false)),
+            Some('n') => self.keyword("null", Val::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at offset {}", self.i)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Val) -> Result<Val, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Val, String> {
+        let start = self.i;
+        if self.peek() == Some('-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.i += 1;
+        }
+        let text: String = self.b[start..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(Val::Num)
+            .map_err(|_| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or("unterminated string")?;
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("truncated \\u escape")?;
+                                code = code * 16 + h.to_digit(16).ok_or("bad hex in \\u escape")?;
+                                self.i += 1;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Val, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Val::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Val::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Val, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Val::Obj(out));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(':')?;
+            self.ws();
+            let v = self.value()?;
+            out.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Val::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+/// A findings multiset keyed by `(rule, path, message)`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Load a baseline from a previously emitted `--json` report.
+    /// Suppressed entries are ignored — they are already accounted for
+    /// in-source and removing a suppression must surface as new.
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let doc = parse(src)?;
+        let findings = doc
+            .get("findings")
+            .and_then(Val::as_arr)
+            .ok_or("baseline has no `findings` array")?;
+        let mut b = Baseline::default();
+        for f in findings {
+            if f.get("suppressed").and_then(Val::as_bool) == Some(true) {
+                continue;
+            }
+            let rule = f
+                .get("rule")
+                .and_then(Val::as_str)
+                .ok_or("finding without `rule`")?;
+            let path = f
+                .get("path")
+                .and_then(Val::as_str)
+                .ok_or("finding without `path`")?;
+            let message = f
+                .get("message")
+                .and_then(Val::as_str)
+                .ok_or("finding without `message`")?;
+            *b.counts
+                .entry((rule.to_string(), path.to_string(), message.to_string()))
+                .or_insert(0) += 1;
+        }
+        Ok(b)
+    }
+
+    /// The current report's failing findings that exceed the baseline:
+    /// the k-th occurrence of a key is new when the baseline holds
+    /// fewer than k.
+    pub fn new_findings<'r>(&self, report: &'r Report) -> Vec<&'r Finding> {
+        let mut seen: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        let mut out = Vec::new();
+        for f in report.failing() {
+            let key = (f.rule, f.path.as_str(), f.message.as_str());
+            let k = seen.entry(key).or_insert(0);
+            *k += 1;
+            let allowed = self
+                .counts
+                .get(&(f.rule.to_string(), f.path.clone(), f.message.clone()))
+                .copied()
+                .unwrap_or(0);
+            if *k > allowed {
+                out.push(f);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::rules;
+
+    fn finding(rule: &'static str, path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: msg.into(),
+            suppressed: false,
+            justification: None,
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_report_shapes() {
+        let v = parse(r#"{"a": [1, {"b": "x\ny"}], "c": true, "d": null}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2] junk").is_err());
+    }
+
+    #[test]
+    fn diff_ignores_line_shifts_but_counts_duplicates() {
+        let base = r#"{"findings": [
+            {"rule": "panic-paths", "path": "crates/core/src/x.rs", "line": 10,
+             "suppressed": false, "message": "m"},
+            {"rule": "panic-paths", "path": "crates/core/src/y.rs", "line": 5,
+             "suppressed": true, "message": "sup"}
+        ]}"#;
+        let b = Baseline::from_json(base).unwrap();
+        let mut r = Report::default();
+        // Same finding, shifted line: not new.
+        r.findings
+            .push(finding(rules::PANIC_PATHS, "crates/core/src/x.rs", 42, "m"));
+        assert!(b.new_findings(&r).is_empty());
+        // A second occurrence of the same key: new.
+        r.findings
+            .push(finding(rules::PANIC_PATHS, "crates/core/src/x.rs", 50, "m"));
+        assert_eq!(b.new_findings(&r).len(), 1);
+        // A suppressed baseline entry does not license a failing one.
+        r.findings.push(finding(
+            rules::PANIC_PATHS,
+            "crates/core/src/y.rs",
+            5,
+            "sup",
+        ));
+        assert_eq!(b.new_findings(&r).len(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Workspace call graph over the symbol table, with taint reachability.
+//!
+//! Call sites are collected lexically (an identifier immediately
+//! followed by `(`), then keyed by callee *name* — the analyzer does not
+//! resolve imports, so `helper()` links to every workspace function
+//! named `helper`. That over-approximation is exactly what a taint
+//! analysis wants: a wrapper around a nondeterminism source is caught at
+//! every transitive call site even when the import path is aliased.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::{FnSig, SymbolTable};
+
+/// Identifiers that look like calls lexically but never are.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "fn", "if", "while", "for", "match", "return", "loop", "in", "let", "as", "move", "else",
+    "impl", "struct", "enum", "union", "trait", "where", "pub", "use", "mod", "unsafe", "ref",
+    "mut", "dyn", "crate", "super",
+];
+
+/// One lexical call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Index of the containing file in the analyzed slice.
+    pub file: usize,
+    /// Code-token index of the callee identifier.
+    pub ci: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Callee name (bare — methods and paths key by final segment).
+    pub callee: String,
+    /// Global fn index (into [`SymbolTable::fns`]) of the enclosing
+    /// function, if the call occurs inside one.
+    pub caller: Option<usize>,
+    /// True when the call site is inside a test region.
+    pub in_test: bool,
+}
+
+/// Taint reachability result: which functions can transitively reach a
+/// source, with one witness edge each for diagnostics.
+#[derive(Debug)]
+pub struct Taint {
+    /// Per-fn (global index) taint flag.
+    pub tainted: Vec<bool>,
+    /// For a fn tainted by propagation: the global index of the callee
+    /// fn that tainted it (`None` for direct sources).
+    pub parent: Vec<Option<usize>>,
+    /// Every tainted fn name (what call sites check against).
+    pub names: BTreeSet<String>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every call site, in file order.
+    pub calls: Vec<Call>,
+    /// Callee name → indices into [`Self::calls`].
+    pub calls_by_callee: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Collect every call site in `files`, resolving enclosing
+    /// functions through `symbols`.
+    pub fn build(files: &[SourceFile], symbols: &SymbolTable) -> CallGraph {
+        // (file, fn-item) → global fn index, for enclosing-fn lookup.
+        let mut fn_index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (gi, f) in symbols.fns.iter().enumerate() {
+            fn_index.insert((f.file, f.item), gi);
+        }
+        let mut cg = CallGraph::default();
+        for (fi, sf) in files.iter().enumerate() {
+            for ci in 0..sf.code.len() {
+                let t = &sf.toks[sf.code[ci]];
+                if t.kind != TokKind::Ident
+                    || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                    || !sf.ct(ci + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    continue;
+                }
+                // Skip definitions (`fn name(`) and macros (`name!(`
+                // never reaches here since `!` intervenes).
+                if ci > 0 && sf.ct(ci - 1).is_some_and(|p| p.is_ident("fn")) {
+                    continue;
+                }
+                let caller = sf
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.contains(ci))
+                    .max_by_key(|(_, f)| f.body_start)
+                    .and_then(|(item, _)| fn_index.get(&(fi, item)).copied());
+                let idx = cg.calls.len();
+                cg.calls.push(Call {
+                    file: fi,
+                    ci,
+                    line: t.line,
+                    callee: t.text.clone(),
+                    caller,
+                    in_test: sf.in_test[ci],
+                });
+                cg.calls_by_callee
+                    .entry(t.text.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        cg
+    }
+
+    /// Propagate taint from `is_source` functions up through callers.
+    /// `is_exempt` functions never become tainted (used for the audited
+    /// carve-out files whose whole point is to wrap a real source).
+    pub fn taint(
+        &self,
+        symbols: &SymbolTable,
+        is_source: impl Fn(&FnSig) -> bool,
+        is_exempt: impl Fn(&FnSig) -> bool,
+    ) -> Taint {
+        let n = symbols.fns.len();
+        let mut tainted = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut work: Vec<usize> = Vec::new();
+        for (gi, f) in symbols.fns.iter().enumerate() {
+            if is_source(f) && !is_exempt(f) {
+                tainted[gi] = true;
+                names.insert(f.name.clone());
+                work.push(gi);
+            }
+        }
+        while let Some(gi) = work.pop() {
+            let name = symbols.fns[gi].name.clone();
+            let Some(call_idxs) = self.calls_by_callee.get(&name) else {
+                continue;
+            };
+            for &c in call_idxs {
+                let Some(caller) = self.calls[c].caller else {
+                    continue;
+                };
+                if tainted[caller] || is_exempt(&symbols.fns[caller]) {
+                    continue;
+                }
+                tainted[caller] = true;
+                parent[caller] = Some(gi);
+                names.insert(symbols.fns[caller].name.clone());
+                work.push(caller);
+            }
+        }
+        Taint {
+            tainted,
+            parent,
+            names,
+        }
+    }
+}
+
+impl Taint {
+    /// The witness chain from fn `gi` down to a direct source, as fn
+    /// names (`helper → wrap → now`). Cycles are cut by the visited set.
+    pub fn chain(&self, symbols: &SymbolTable, gi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut cur = Some(gi);
+        while let Some(g) = cur {
+            if !seen.insert(g) {
+                break;
+            }
+            out.push(symbols.fns[g].name.clone());
+            cur = self.parent[g];
+        }
+        out
+    }
+
+    /// The tainted fn the name-keyed call to `callee` resolves to (any
+    /// tainted definition of that name), for witness rendering.
+    pub fn tainted_fn_named(&self, symbols: &SymbolTable, callee: &str) -> Option<usize> {
+        symbols
+            .fn_by_name
+            .get(callee)?
+            .iter()
+            .copied()
+            .find(|&gi| self.tainted[gi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable, CallGraph) {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let symbols = SymbolTable::build(&files);
+        let cg = CallGraph::build(&files, &symbols);
+        (files, symbols, cg)
+    }
+
+    #[test]
+    fn calls_link_to_enclosing_fns() {
+        let (_f, sy, cg) = world(&[(
+            "crates/core/src/a.rs",
+            "fn leaf() {}\nfn mid() { leaf(); }\nfn top() { mid(); other.leaf(); }\n",
+        )]);
+        let leaf_calls = &cg.calls_by_callee["leaf"];
+        assert_eq!(leaf_calls.len(), 2);
+        let callers: Vec<&str> = leaf_calls
+            .iter()
+            .map(|&c| sy.fns[cg.calls[c].caller.unwrap()].name.as_str())
+            .collect();
+        assert_eq!(callers, vec!["mid", "top"]);
+    }
+
+    #[test]
+    fn taint_crosses_files_and_records_witness() {
+        let (_f, sy, cg) = world(&[
+            (
+                "crates/hw/src/a.rs",
+                "fn stamp() { let t = Instant::now(); }\n",
+            ),
+            (
+                "crates/sched/src/b.rs",
+                "fn plan() { stamp(); }\nfn clean() { let x = 1; }\n",
+            ),
+        ]);
+        let taint = cg.taint(&sy, |f| f.name == "stamp", |_| false);
+        assert!(taint.names.contains("plan"));
+        assert!(!taint.names.contains("clean"));
+        let plan = sy.fn_by_name["plan"][0];
+        assert_eq!(taint.chain(&sy, plan), vec!["plan", "stamp"]);
+    }
+
+    #[test]
+    fn exempt_fns_do_not_propagate() {
+        let (_f, sy, cg) = world(&[(
+            "crates/sim/src/time.rs",
+            "fn now_src() { x(); }\nfn wrap() { now_src(); }\nfn user() { wrap(); }\n",
+        )]);
+        // `wrap` is exempt: taint from now_src stops there, so `user`
+        // stays clean.
+        let taint = cg.taint(&sy, |f| f.name == "now_src", |f| f.name == "wrap");
+        assert!(taint.names.contains("now_src"));
+        assert!(!taint.names.contains("wrap"));
+        assert!(!taint.names.contains("user"));
+    }
+}

@@ -1,10 +1,9 @@
-//! Diagnostics: findings and the report they aggregate into.
+//! Diagnostics: findings, severity tiers, and the report they
+//! aggregate into (including per-rule timings).
 
 /// Rule identifiers, used both in diagnostics and in
 /// `// analyze:allow(<rule>)` suppressions.
 pub mod rules {
-    /// R1: nondeterministic time/rng sources in modeled-path crates.
-    pub const DETERMINISM_SOURCES: &str = "determinism-sources";
     /// R2: unordered `HashMap`/`HashSet` in schedule-affecting crates.
     pub const ORDERED_ITERATION: &str = "ordered-iteration";
     /// R3: allocation/lease acquisition without a reachable release.
@@ -13,17 +12,65 @@ pub mod rules {
     pub const PANIC_PATHS: &str = "panic-paths";
     /// R5: cycles in the static lock-acquisition graph.
     pub const LOCK_ORDER: &str = "lock-order";
-    /// Meta-rule: a suppression comment with an empty justification.
+    /// R6: mixed-unit arithmetic/comparison (ns vs bytes vs byte·seconds
+    /// vs events) in scoring and accounting code.
+    pub const UNIT_CONSISTENCY: &str = "unit-consistency";
+    /// R7: raw or cross-domain indexing into dense arenas, and indices
+    /// held across arena-compacting calls.
+    pub const ARENA_INDEX: &str = "arena-index";
+    /// R8: wall-clock/OS-entropy taint reaching schedule-visible code
+    /// through the call graph (supersedes the old per-file
+    /// `determinism-sources` rule).
+    pub const DETERMINISM_TAINT: &str = "determinism-taint";
+    /// R9: ordering packed calendar events by anything other than the
+    /// full `(SimTime, kind, id, seq)` tuple.
+    pub const EVENT_ORDER: &str = "event-order";
+    /// Meta-rule: a suppression comment with an empty justification, an
+    /// unknown rule name, or no finding to suppress.
     pub const SUPPRESSION: &str = "suppression";
 
     /// Every rule a suppression may name.
-    pub const ALL: [&str; 5] = [
-        DETERMINISM_SOURCES,
+    pub const ALL: [&str; 8] = [
         ORDERED_ITERATION,
         LEASE_DISCIPLINE,
         PANIC_PATHS,
         LOCK_ORDER,
+        UNIT_CONSISTENCY,
+        ARENA_INDEX,
+        DETERMINISM_TAINT,
+        EVENT_ORDER,
     ];
+}
+
+/// How bad a finding is. Every tier fails the run when unsuppressed;
+/// the tier feeds the SARIF `level` and lets downstream dashboards
+/// triage invariant breaks before hygiene issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A violated project invariant (determinism, units, indices,
+    /// leases, locks, panics).
+    Error,
+    /// Suppression hygiene: stale, unjustified, or unknown allows.
+    Warning,
+}
+
+impl Severity {
+    /// SARIF-compatible level string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// The severity tier of a rule.
+pub fn severity_of(rule: &str) -> Severity {
+    if rule == rules::SUPPRESSION {
+        Severity::Warning
+    } else {
+        Severity::Error
+    }
 }
 
 /// One diagnostic: a rule violation at a source location.
@@ -49,9 +96,19 @@ impl Finding {
     pub fn render(&self) -> String {
         let tag = if self.suppressed { " (suppressed)" } else { "" };
         format!(
-            "{}:{}: [{}]{} {}",
-            self.path, self.line, self.rule, tag, self.message
+            "{}:{}: {} [{}]{} {}",
+            self.path,
+            self.line,
+            severity_of(self.rule).as_str(),
+            self.rule,
+            tag,
+            self.message
         )
+    }
+
+    /// The severity tier of this finding's rule.
+    pub fn severity(&self) -> Severity {
+        severity_of(self.rule)
     }
 }
 
@@ -62,6 +119,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files analyzed.
     pub files_scanned: usize,
+    /// Wall-clock micros per analysis pass, in execution order. The
+    /// self-benchmark gate (`--max-millis`) sums these; they are *not*
+    /// part of the baseline diff (timings jitter, findings must not).
+    pub timings_us: Vec<(&'static str, u128)>,
 }
 
 impl Report {
@@ -80,11 +141,26 @@ impl Report {
         self.failing().filter(|f| f.rule == rule).count()
     }
 
+    /// Total analysis wall time in microseconds (sum of the pass
+    /// timings; lexing/IO excluded).
+    pub fn total_us(&self) -> u128 {
+        self.timings_us.iter().map(|(_, us)| us).sum()
+    }
+
     /// Sort findings into the stable (path, line, rule) order every
-    /// consumer (terminal, JSON, tests) sees.
+    /// consumer (terminal, JSON, SARIF, tests) sees, dropping exact
+    /// duplicates (two passes may witness the same site).
     pub fn finalize(&mut self) {
         self.findings.sort_by(|a, b| {
-            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+            (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+        self.findings.dedup_by(|a, b| {
+            a.path == b.path && a.line == b.line && a.rule == b.rule && a.message == b.message
         });
     }
 }

@@ -36,7 +36,17 @@ pub fn report_to_json(r: &Report) -> String {
         first = false;
         s.push_str(&format!("\n    \"{}\": {}", rule, r.failing_for(rule)));
     }
-    s.push_str("\n  },\n  \"findings\": [");
+    s.push_str("\n  },\n  \"timings_us\": {");
+    let mut first = true;
+    for (pass, us) in &r.timings_us {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!("\n    \"{}\": {}", escape(pass), us));
+    }
+    s.push_str(&format!("\n  }},\n  \"total_us\": {},", r.total_us()));
+    s.push_str("\n  \"findings\": [");
     let mut first = true;
     for f in &r.findings {
         if !first {
@@ -44,9 +54,10 @@ pub fn report_to_json(r: &Report) -> String {
         }
         first = false;
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"suppressed\": {}, \
-             \"message\": \"{}\"",
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+             \"line\": {}, \"suppressed\": {}, \"message\": \"{}\"",
             f.rule,
+            f.severity().as_str(),
             escape(&f.path),
             f.line,
             f.suppressed,

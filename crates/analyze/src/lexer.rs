@@ -185,6 +185,30 @@ pub fn lex(src: &str) -> Vec<Token> {
             });
             continue;
         }
+        // Byte char literal `b'x'` (checked before identifiers so the
+        // `b` prefix is not lexed as a stray ident).
+        if c == 'b'
+            && i + 1 < n
+            && b[i + 1] == '\''
+            && (i == 0 || !(b[i - 1].is_alphanumeric() || b[i - 1] == '_'))
+        {
+            let start = i;
+            i += 2; // consume `b'`
+            if i < n && b[i] == '\\' {
+                i += 2;
+            } else if i < n {
+                i += 1;
+            }
+            if i < n && b[i] == '\'' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: b[start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
         // Lifetime or char literal.
         if c == '\'' {
             // Lifetime: 'ident not followed by a closing quote.

@@ -2,34 +2,60 @@
 //!
 //! A dependency-free Rust-source analyzer (its own [`lexer`], no registry
 //! crates, not even the workspace shims) that enforces the project's
-//! determinism, lease, panic, and lock-order invariants with `file:line`
-//! diagnostics, a machine-readable JSON report, and
+//! determinism, unit, arena-index, lease, panic, and lock-order
+//! invariants with `file:line` diagnostics, machine-readable JSON and
+//! SARIF reports, a findings-baseline diff mode for CI, and
 //! `// analyze:allow(rule): <justification>` suppressions that fail when
-//! the justification is empty.
+//! unjustified, unknown, or stale.
+//!
+//! Since PR 8 the engine is interprocedural: a workspace-wide
+//! [`symbols::SymbolTable`] and [`callgraph::CallGraph`] are built once
+//! from the lexed token streams, and a per-function dataflow pass
+//! ([`dataflow`]) feeds the flow-sensitive rules.
 //!
 //! | Rule | Scope | Invariant |
 //! |------|-------|-----------|
-//! | `determinism-sources` (R1) | `core`, `sim` (except `sim/src/time.rs`), `sched` (except `sched/src/real.rs`) | no `Instant`/`SystemTime`/`thread_rng` on the modeled path |
-//! | `ordered-iteration` (R2) | `core`, `sched`, `sim` | no `HashMap`/`HashSet`; use `BTreeMap`/sorted vecs |
+//! | `ordered-iteration` (R2) | `core`, `sim`, `sched`, `fleet` | no `HashMap`/`HashSet`; use `BTreeMap`/sorted vecs |
 //! | `lease-discipline` (R3) | `core`, `sched`, `apps` | `alloc`/lease acquisition needs a reachable release or an escaping handle |
-//! | `panic-paths` (R4) | `core`, `exec`, `sched` | no `unwrap()`/`expect(`/`panic!` in non-test runtime code |
+//! | `panic-paths` (R4) | `core`, `exec`, `sched`, `fleet` | no `unwrap()`/`expect(`/`panic!` in non-test runtime code |
 //! | `lock-order` (R5) | `exec`, `sched` | the static lock-acquisition graph must be acyclic |
+//! | `unit-consistency` (R6) | `core`, `sched`, `fleet` | no mixed-unit arithmetic/comparison (ns, bytes, byte·seconds, events) |
+//! | `arena-index` (R7) | `core`, `sched`, `fleet` | dense arena indices stay in their domain and die on compaction |
+//! | `determinism-taint` (R8) | `core`, `sim`, `sched`, `fleet` | no wall-clock/entropy reaching schedule-visible code, even through helpers in other crates |
+//! | `event-order` (R9) | `core`, `sched` | packed events ordered only by the full `(SimTime, kind, id, seq)` tuple |
 //!
-//! Run it as `cargo run -p northup-analyze -- --workspace [--json out.json]`.
+//! R8 supersedes the per-file `determinism-sources` rule from PR 3: the
+//! same direct occurrences are still findings, but wrappers are now
+//! chased through the call graph across crate boundaries.
+//!
+//! Run it as `cargo run -p northup-analyze -- --workspace
+//! [--json out.json] [--sarif out.sarif] [--baseline analyze-baseline.json]
+//! [--max-millis 10000]`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod json;
 pub mod lexer;
 pub mod lockgraph;
+pub mod r6_units;
+pub mod r7_arena;
+pub mod r8_taint;
+pub mod r9_events;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
+pub mod units;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 pub use diag::{Finding, Report};
 use source::SourceFile;
@@ -42,14 +68,53 @@ pub fn analyze_sources(files: &[(String, String)]) -> Report {
     let mut report = Report {
         findings: Vec::new(),
         files_scanned: parsed.len(),
+        timings_us: Vec::new(),
     };
-    // Per-file rules first, then the cross-file lock graph; suppressions
-    // apply uniformly afterwards, file by file.
+    // Shared interprocedural infrastructure, built once.
+    let t = Instant::now();
+    let symbols = symbols::SymbolTable::build(&parsed);
+    report.timings_us.push(("symbols", t.elapsed().as_micros()));
+    let t = Instant::now();
+    let cg = callgraph::CallGraph::build(&parsed, &symbols);
+    report
+        .timings_us
+        .push(("callgraph", t.elapsed().as_micros()));
+    // Rule passes, individually timed. Suppressions apply uniformly
+    // afterwards, file by file.
     let mut raw: Vec<Finding> = Vec::new();
+    let t = Instant::now();
     for sf in &parsed {
         rules::check_file(sf, &mut raw);
     }
+    report
+        .timings_us
+        .push(("per-file (R2-R4)", t.elapsed().as_micros()));
+    let t = Instant::now();
     lockgraph::check_lock_order(&parsed, &mut raw);
+    report
+        .timings_us
+        .push(("lock-order (R5)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r6_units::check(&parsed, &symbols, &cg, &mut raw);
+    report
+        .timings_us
+        .push(("unit-consistency (R6)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r7_arena::check(&parsed, &symbols, &mut raw);
+    report
+        .timings_us
+        .push(("arena-index (R7)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r8_taint::check(&parsed, &symbols, &cg, &mut raw);
+    report
+        .timings_us
+        .push(("determinism-taint (R8)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r9_events::check(&parsed, &symbols, &mut raw);
+    report
+        .timings_us
+        .push(("event-order (R9)", t.elapsed().as_micros()));
+    let t = Instant::now();
     for sf in &parsed {
         let mut mine: Vec<Finding> = Vec::new();
         let mut rest = Vec::new();
@@ -65,6 +130,9 @@ pub fn analyze_sources(files: &[(String, String)]) -> Report {
         raw = rest;
     }
     report.findings.extend(raw);
+    report
+        .timings_us
+        .push(("suppressions", t.elapsed().as_micros()));
     report.finalize();
     report
 }
@@ -169,5 +237,29 @@ mod tests {
         assert_eq!(r.failing().count(), 2);
         assert_eq!(r.findings[0].path, "crates/core/src/a.rs");
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn every_pass_is_timed() {
+        let r = analyze_sources(&[("crates/core/src/a.rs".to_string(), "fn f() {}".to_string())]);
+        let names: Vec<&str> = r.timings_us.iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "symbols",
+            "callgraph",
+            "per-file (R2-R4)",
+            "lock-order (R5)",
+            "unit-consistency (R6)",
+            "arena-index (R7)",
+            "determinism-taint (R8)",
+            "event-order (R9)",
+            "suppressions",
+        ] {
+            assert!(names.contains(&expected), "missing pass timing {expected}");
+        }
+        // total_us is the sum of all passes.
+        assert_eq!(
+            r.total_us(),
+            r.timings_us.iter().map(|(_, us)| us).sum::<u128>()
+        );
     }
 }

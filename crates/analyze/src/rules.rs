@@ -1,6 +1,10 @@
-//! Rules R1–R4: per-file token-pattern rules.
+//! Rules R2–R4: per-file token-pattern rules, plus suppression
+//! application (with liveness tracking) shared by every rule.
 //!
-//! R5 (lock-order) is cross-file and lives in [`crate::lockgraph`].
+//! R5 (lock-order) lives in [`crate::lockgraph`]; the interprocedural
+//! rules R6–R9 live in [`crate::r6_units`], [`crate::r7_arena`],
+//! [`crate::r8_taint`] (which superseded the old per-file
+//! `determinism-sources` rule), and [`crate::r9_events`].
 
 use crate::diag::{rules, Finding};
 use crate::source::SourceFile;
@@ -14,50 +18,14 @@ pub fn crate_of(path: &str) -> Option<&str> {
     Some(name)
 }
 
-/// Run R1–R4 over one file, appending raw (unsuppressed) findings.
+/// Run R2–R4 over one file, appending raw (unsuppressed) findings.
 pub fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
     let Some(krate) = crate_of(&sf.path) else {
         return;
     };
-    r1_determinism_sources(sf, krate, out);
     r2_ordered_iteration(sf, krate, out);
     r3_lease_discipline(sf, krate, out);
     r4_panic_paths(sf, krate, out);
-}
-
-/// R1: `Instant` / `SystemTime` / `thread_rng` are wall-clock or
-/// OS-entropy sources; modeled-path crates must stay bit-deterministic.
-/// `sim/src/time.rs` (the virtual clock) and `sched/src/real.rs` (the
-/// real backend) are the sanctioned exceptions.
-fn r1_determinism_sources(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
-    if !matches!(krate, "core" | "sim" | "sched" | "fleet") {
-        return;
-    }
-    if sf.path == "crates/sim/src/time.rs" || sf.path == "crates/sched/src/real.rs" {
-        return;
-    }
-    for ci in 0..sf.code.len() {
-        if sf.in_test[ci] {
-            continue;
-        }
-        let t = &sf.toks[sf.code[ci]];
-        let bad = ["Instant", "SystemTime", "thread_rng"]
-            .iter()
-            .find(|s| t.is_ident(s));
-        if let Some(name) = bad {
-            out.push(Finding {
-                rule: rules::DETERMINISM_SOURCES,
-                path: sf.path.clone(),
-                line: t.line,
-                message: format!(
-                    "nondeterministic source `{name}` in modeled-path crate `{krate}`; \
-                     use SimTime/SimDur (virtual clock) or a seeded StdRng"
-                ),
-                suppressed: false,
-                justification: None,
-            });
-        }
-    }
 }
 
 /// R2: `HashMap`/`HashSet` iteration order varies run-to-run (and with
@@ -193,9 +161,13 @@ fn r4_panic_paths(sf: &SourceFile, krate: &str, out: &mut Vec<Finding>) {
 
 /// Apply this file's `analyze:allow` directives to `findings` (which
 /// must all belong to `sf`), marking covered ones suppressed, and emit
-/// meta-findings for empty justifications.
+/// meta-findings for suppression-hygiene violations: an empty
+/// justification, an unknown rule name, or — the liveness check — a
+/// well-formed suppression that matched no finding and is therefore
+/// dead weight that would silently swallow a future regression.
 pub fn apply_allows(sf: &SourceFile, findings: &mut [Finding], out_meta: &mut Vec<Finding>) {
-    for a in &sf.allows {
+    let mut used = vec![false; sf.allows.len()];
+    for (ai, a) in sf.allows.iter().enumerate() {
         if a.justification.is_empty() {
             out_meta.push(Finding {
                 rule: rules::SUPPRESSION,
@@ -230,8 +202,28 @@ pub fn apply_allows(sf: &SourceFile, findings: &mut [Finding], out_meta: &mut Ve
             if f.rule == a.rule && (f.line == a.line || f.line == a.line + 1) {
                 f.suppressed = true;
                 f.justification = Some(a.justification.clone());
+                used[ai] = true;
             }
         }
+    }
+    for (ai, a) in sf.allows.iter().enumerate() {
+        if used[ai] || a.justification.is_empty() || !rules::ALL.contains(&a.rule.as_str()) {
+            continue;
+        }
+        out_meta.push(Finding {
+            rule: rules::SUPPRESSION,
+            path: sf.path.clone(),
+            line: a.line,
+            message: format!(
+                "analyze:allow({}) matches no finding on line {} or {}; the rule no \
+                 longer fires here — delete the stale suppression",
+                a.rule,
+                a.line,
+                a.line + 1
+            ),
+            suppressed: false,
+            justification: None,
+        });
     }
 }
 
@@ -251,33 +243,25 @@ mod tests {
 
     #[test]
     fn scoping_by_crate() {
-        // `Instant` in apps is out of R1 scope.
-        assert!(run("crates/apps/src/x.rs", "use std::time::Instant;").is_empty());
-        let f = run("crates/core/src/x.rs", "use std::time::Instant;");
+        // `HashMap` in apps is out of R2 scope.
+        assert!(run("crates/apps/src/x.rs", "use std::collections::HashMap;").is_empty());
+        let f = run("crates/core/src/x.rs", "use std::collections::HashMap;");
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, rules::DETERMINISM_SOURCES);
-    }
-
-    #[test]
-    fn exception_files_are_exempt() {
-        assert!(run("crates/sim/src/time.rs", "use std::time::Instant;").is_empty());
-        assert!(run("crates/sched/src/real.rs", "use std::time::Instant;").is_empty());
+        assert_eq!(f[0].rule, rules::ORDERED_ITERATION);
     }
 
     #[test]
     fn engine_modules_are_in_scope() {
         // The event-engine rewrite (calendar queue + digest pinning) must
-        // stay under R1/R2: a wall clock or an unordered map in either
-        // module would silently break bit-identical replay. Pin the scope
-        // so a future exception list can't quietly carve them out.
+        // stay under R2: an unordered map in either module would silently
+        // break bit-identical replay. Pin the scope so a future exception
+        // list can't quietly carve them out. (The determinism leg of this
+        // guarantee moved to R8 and is pinned in tests/fixtures.rs.)
         for path in [
             "crates/sched/src/calendar.rs",
             "crates/sched/src/digest.rs",
             "crates/sched/src/scheduler.rs",
         ] {
-            let f = run(path, "use std::time::Instant;");
-            assert_eq!(f.len(), 1, "{path} escaped R1");
-            assert_eq!(f[0].rule, rules::DETERMINISM_SOURCES);
             let f = run(path, "use std::collections::HashMap;");
             assert_eq!(f.len(), 1, "{path} escaped R2");
             assert_eq!(f[0].rule, rules::ORDERED_ITERATION);
@@ -310,6 +294,25 @@ mod tests {
             "// analyze:allow(panic-paths)\nfn f() { x.unwrap(); }",
         );
         assert!(f.iter().any(|x| x.rule == rules::SUPPRESSION));
+    }
+
+    #[test]
+    fn unused_suppression_is_a_finding() {
+        // A justified allow that matches nothing is dead weight.
+        let f = run(
+            "crates/core/src/x.rs",
+            "// analyze:allow(panic-paths): nothing panics here anymore\nfn f() { ok(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rules::SUPPRESSION);
+        assert!(f[0].message.contains("matches no finding"));
+        // The same allow, matching: no meta-finding.
+        let f = run(
+            "crates/core/src/x.rs",
+            "// analyze:allow(panic-paths): init-only path\nfn f() { x.unwrap(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
     }
 
     #[test]

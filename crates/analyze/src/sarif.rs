@@ -1,0 +1,143 @@
+//! SARIF 2.1.0 output (`--sarif FILE`) — the minimal subset GitHub code
+//! scanning and other SARIF consumers ingest: one run, the rule
+//! catalog, and per-finding results with level, message, and a
+//! `startLine` region. Suppressed findings are emitted with an
+//! `inSource` suppression carrying the in-tree justification.
+
+use crate::diag::{rules, severity_of, Report};
+use crate::json::escape;
+
+/// One-line rule descriptions for the SARIF rule catalog.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        rules::ORDERED_ITERATION => {
+            "unordered HashMap/HashSet iteration leaks into schedules; use ordered containers"
+        }
+        rules::LEASE_DISCIPLINE => {
+            "acquired buffers/leases need a reachable release or an escaping handle"
+        }
+        rules::PANIC_PATHS => "no unwrap()/expect(..)/panic! in non-test runtime code",
+        rules::LOCK_ORDER => "the static lock-acquisition graph must be acyclic",
+        rules::UNIT_CONSISTENCY => {
+            "no mixed-unit arithmetic/comparison across ns, bytes, byte·seconds, events"
+        }
+        rules::ARENA_INDEX => {
+            "dense arena indices stay in their declared domain and die on compaction"
+        }
+        rules::DETERMINISM_TAINT => {
+            "wall-clock/entropy sources must not reach schedule-visible code, even transitively"
+        }
+        rules::EVENT_ORDER => {
+            "packed calendar events are ordered by the full (SimTime, kind, id, seq) tuple"
+        }
+        rules::SUPPRESSION => "analyze:allow directives must be justified, known, and live",
+        _ => "unknown rule",
+    }
+}
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn report_to_sarif(r: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"northup-analyze\",\n");
+    s.push_str("          \"rules\": [");
+    let mut first = true;
+    for rule in rules::ALL.iter().chain([rules::SUPPRESSION].iter()) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            rule,
+            escape(describe(rule)),
+            severity_of(rule).as_str()
+        ));
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    let mut first = true;
+    for f in &r.findings {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+            f.rule,
+            f.severity().as_str(),
+            escape(&f.message),
+            escape(&f.path),
+            f.line.max(1)
+        ));
+        if f.suppressed {
+            let just = f.justification.as_deref().unwrap_or("");
+            s.push_str(&format!(
+                ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+                escape(just)
+            ));
+        }
+        s.push('}');
+    }
+    s.push_str("\n      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::diag::Finding;
+
+    #[test]
+    fn sarif_is_valid_json_with_expected_shape() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: rules::UNIT_CONSISTENCY,
+            path: "crates/fleet/src/router.rs".into(),
+            line: 7,
+            message: "mixed units \"x\"".into(),
+            suppressed: false,
+            justification: None,
+        });
+        r.findings.push(Finding {
+            rule: rules::PANIC_PATHS,
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            message: "m".into(),
+            suppressed: true,
+            justification: Some("why".into()),
+        });
+        let s = report_to_sarif(&r);
+        let doc = baseline::parse(&s).expect("SARIF must parse as JSON");
+        assert_eq!(
+            doc.get("version").and_then(baseline::Val::as_str),
+            Some("2.1.0")
+        );
+        let runs = doc.get("runs").and_then(baseline::Val::as_arr).unwrap();
+        let results = runs[0]
+            .get("results")
+            .and_then(baseline::Val::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("level").and_then(baseline::Val::as_str),
+            Some("error")
+        );
+        assert!(results[1].get("suppressions").is_some());
+        let rules_arr = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(baseline::Val::as_arr)
+            .unwrap();
+        assert_eq!(rules_arr.len(), 9);
+    }
+}

@@ -1,0 +1,578 @@
+//! Cross-crate symbol table: struct fields (with their doc comments)
+//! and function signatures, built once from the lexed token streams and
+//! shared by every interprocedural rule.
+//!
+//! Resolution is *name-keyed*: the analyzer does not resolve imports, so
+//! two same-named symbols merge conservatively — a rule only trusts a
+//! looked-up fact when every definition of the name agrees on it. That
+//! trades a little recall for zero import-graph machinery, which keeps
+//! whole-workspace analysis well inside the CI time budget.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::rules::crate_of;
+use crate::source::SourceFile;
+use crate::units::{self, Unit};
+
+/// One `name: Type` parameter of a function (receiver excluded).
+/// Destructured patterns keep their type with an empty name.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`""` for `_` or tuple patterns).
+    pub name: String,
+    /// Declared type text, tokens space-joined (`& mut Vec < u64 >`).
+    pub ty: String,
+}
+
+/// One function signature, anywhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Owning crate (`None` for root `src/`, `examples/`, ...).
+    pub krate: Option<String>,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Function name (methods are keyed by bare name, like the call
+    /// graph).
+    pub name: String,
+    /// Parameters in order, `self` receivers skipped.
+    pub params: Vec<Param>,
+    /// Return-type text (`""` for unit).
+    pub ret: String,
+    /// Defined inside a test region.
+    pub is_test: bool,
+    /// Index of the defining file in the analyzed slice.
+    pub file: usize,
+    /// Index of the `FnItem` within that file's `fns`.
+    pub item: usize,
+}
+
+/// One named struct field, anywhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Struct the field belongs to.
+    pub strukt: String,
+    /// Field name.
+    pub name: String,
+    /// Declared type text, tokens space-joined.
+    pub ty: String,
+    /// The field's doc comment(s), concatenated (used for index-domain
+    /// annotations like ``dense by `NodeId.0` ``).
+    pub doc: String,
+    /// Workspace-relative path of the declaring file.
+    pub path: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// The workspace-wide symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function signature, in file order.
+    pub fns: Vec<FnSig>,
+    /// Name → indices into [`Self::fns`].
+    pub fn_by_name: BTreeMap<String, Vec<usize>>,
+    /// Every named struct field, in file order.
+    pub fields: Vec<FieldDecl>,
+    /// Field name → indices into [`Self::fields`].
+    pub field_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table over every analyzed file.
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let mut st = SymbolTable::default();
+        for (fi, sf) in files.iter().enumerate() {
+            collect_fns(sf, fi, &mut st);
+            collect_fields(sf, &mut st);
+        }
+        for (i, f) in st.fns.iter().enumerate() {
+            st.fn_by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        for (i, f) in st.fields.iter().enumerate() {
+            st.field_by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        st
+    }
+
+    /// The unit every same-named function agrees to return: inferred
+    /// from the name suffix (`transfer_ns`) or the return type
+    /// (`-> SimDur`). `None` when unknown or when definitions disagree.
+    pub fn fn_ret_unit(&self, name: &str) -> Option<Unit> {
+        if units::std_shadowed_method(name) {
+            return None;
+        }
+        let idxs = self.fn_by_name.get(name)?;
+        let mut agreed: Option<Unit> = None;
+        for &i in idxs {
+            let f = &self.fns[i];
+            let u = units::of_ident(&f.name).or_else(|| units::of_type(&f.ret))?;
+            match agreed {
+                None => agreed = Some(u),
+                Some(a) if a == u => {}
+                Some(_) => return None,
+            }
+        }
+        agreed
+    }
+
+    /// The unit every same-named field agrees on (name suffix, then
+    /// declared type). `None` when unknown or conflicting.
+    pub fn field_unit(&self, name: &str) -> Option<Unit> {
+        if let Some(u) = units::of_ident(name) {
+            return Some(u);
+        }
+        let idxs = self.field_by_name.get(name)?;
+        let mut agreed: Option<Unit> = None;
+        for &i in idxs {
+            let u = units::of_type(&self.fields[i].ty)?;
+            match agreed {
+                None => agreed = Some(u),
+                Some(a) if a == u => {}
+                Some(_) => return None,
+            }
+        }
+        agreed
+    }
+
+    /// The single parameter profile shared by every definition of
+    /// `name` (used by the interprocedural unit check at call sites).
+    /// `None` when the name is unknown or the definitions' arities or
+    /// param units disagree.
+    pub fn unified_params(&self, name: &str) -> Option<&[Param]> {
+        if units::std_shadowed_method(name) {
+            return None;
+        }
+        let idxs = self.fn_by_name.get(name)?;
+        let first = &self.fns[*idxs.first()?];
+        for &i in &idxs[1..] {
+            let other = &self.fns[i];
+            if other.params.len() != first.params.len() {
+                return None;
+            }
+            for (a, b) in first.params.iter().zip(&other.params) {
+                if units::of_decl(&a.name, &a.ty) != units::of_decl(&b.name, &b.ty) {
+                    return None;
+                }
+            }
+        }
+        Some(&first.params)
+    }
+}
+
+/// Extract parameter lists for every `FnItem` in `sf`.
+fn collect_fns(sf: &SourceFile, file: usize, st: &mut SymbolTable) {
+    for (item, f) in sf.fns.iter().enumerate() {
+        let params = parse_params(sf, f.sig_start, f.body_start);
+        st.fns.push(FnSig {
+            krate: crate_of(&sf.path).map(|s| s.to_string()),
+            path: sf.path.clone(),
+            line: f.line,
+            name: f.name.clone(),
+            params,
+            ret: f.ret.clone(),
+            is_test: f.is_test,
+            file,
+            item,
+        });
+    }
+}
+
+/// Parse `( params )` between the fn name and its body, skipping the
+/// generic parameter list (which may itself contain `->` in `Fn` bounds).
+fn parse_params(sf: &SourceFile, sig_start: usize, body_start: usize) -> Vec<Param> {
+    // Find the opening paren of the parameter list: the first `(` at
+    // angle depth 0 after the fn name.
+    let mut ci = sig_start + 2;
+    let mut angle = 0i32;
+    let open = loop {
+        if ci >= body_start {
+            return Vec::new();
+        }
+        let t = match sf.ct(ci) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        if t.is_punct('-') && sf.ct(ci + 1).is_some_and(|n| n.is_punct('>')) {
+            ci += 2; // `->` inside generic bounds: not an angle close
+            continue;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            break ci;
+        }
+        ci += 1;
+    };
+    // Split the argument span on top-level commas.
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut seg: Vec<usize> = Vec::new();
+    let mut segs: Vec<Vec<usize>> = Vec::new();
+    let mut ci = open + 1;
+    while let Some(t) = sf.ct(ci) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 && t.is_punct(')') {
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct('-') && sf.ct(ci + 1).is_some_and(|n| n.is_punct('>')) {
+            seg.push(ci);
+            seg.push(ci + 1);
+            ci += 2;
+            continue;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        }
+        if t.is_punct(',') && depth == 0 && angle <= 0 {
+            segs.push(std::mem::take(&mut seg));
+        } else {
+            seg.push(ci);
+        }
+        ci += 1;
+    }
+    if !seg.is_empty() {
+        segs.push(seg);
+    }
+    let mut params = Vec::new();
+    for seg in segs {
+        if let Some(p) = parse_one_param(sf, &seg) {
+            params.push(p);
+        }
+    }
+    params
+}
+
+/// One comma-separated parameter segment → a [`Param`], or `None` for a
+/// `self` receiver.
+fn parse_one_param(sf: &SourceFile, seg: &[usize]) -> Option<Param> {
+    // Strip leading `&`, lifetimes, and `mut`.
+    let mut k = 0usize;
+    while k < seg.len() {
+        let t = sf.ct(seg[k])?;
+        if t.is_punct('&') || t.kind == TokKind::Lifetime || t.is_ident("mut") {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    let head = sf.ct(*seg.get(k)?)?;
+    if head.is_ident("self") {
+        return None;
+    }
+    // `name : Type` — anything else (tuple patterns, `_`) keeps the
+    // type with an anonymous name.
+    let (name, ty_from) = if head.kind == TokKind::Ident
+        && seg
+            .get(k + 1)
+            .and_then(|&c| sf.ct(c))
+            .is_some_and(|t| t.is_punct(':'))
+    {
+        (head.text.clone(), k + 2)
+    } else {
+        let colon = seg
+            .iter()
+            .position(|&c| sf.ct(c).is_some_and(|t| t.is_punct(':')))?;
+        (String::new(), colon + 1)
+    };
+    let ty = seg[ty_from..]
+        .iter()
+        .filter_map(|&c| sf.ct(c).map(|t| t.text.clone()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    Some(Param { name, ty })
+}
+
+/// Extract named struct fields (tuple structs and enums are skipped).
+fn collect_fields(sf: &SourceFile, st: &mut SymbolTable) {
+    let n = sf.code.len();
+    let mut ci = 0usize;
+    while ci < n {
+        if !sf.toks[sf.code[ci]].is_ident("struct") {
+            ci += 1;
+            continue;
+        }
+        let Some(name_tok) = sf.ct(ci + 1) else {
+            ci += 1;
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            ci += 1;
+            continue;
+        }
+        let strukt = name_tok.text.clone();
+        // Walk to the body `{`, or bail at `;`/`(` (unit/tuple struct).
+        let mut j = ci + 2;
+        let body = loop {
+            match sf.ct(j) {
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(t) if t.is_punct(';') || t.is_punct('(') => break None,
+                Some(_) => j += 1,
+                None => break None,
+            }
+        };
+        let Some(open) = body else {
+            ci += 1;
+            continue;
+        };
+        let close = sf.match_brace(open);
+        parse_fields(sf, &strukt, open, close, st);
+        ci = close + 1;
+    }
+}
+
+/// Parse `name: Type` fields between `open` and `close` (code indices of
+/// the struct's braces), attaching each field's doc comment.
+fn parse_fields(sf: &SourceFile, strukt: &str, open: usize, close: usize, st: &mut SymbolTable) {
+    let mut ci = open + 1;
+    while ci < close {
+        let t = match sf.ct(ci) {
+            Some(t) => t,
+            None => return,
+        };
+        // Skip attributes and visibility.
+        if t.is_punct('#') && sf.ct(ci + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut depth = 0i32;
+            let mut j = ci + 1;
+            loop {
+                match sf.ct(j) {
+                    Some(t) if t.is_punct('[') => depth += 1,
+                    Some(t) if t.is_punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                    None => return,
+                }
+                j += 1;
+            }
+            ci = j + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            ci += 1;
+            if sf.ct(ci).is_some_and(|n| n.is_punct('(')) {
+                // `pub(crate)` etc.
+                let mut depth = 0i32;
+                loop {
+                    match sf.ct(ci) {
+                        Some(t) if t.is_punct('(') => depth += 1,
+                        Some(t) if t.is_punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => return,
+                    }
+                    ci += 1;
+                }
+                ci += 1;
+            }
+            continue;
+        }
+        // `name : Type` up to the field-separating comma.
+        if t.kind == TokKind::Ident && sf.ct(ci + 1).is_some_and(|n| n.is_punct(':')) {
+            let name = t.text.clone();
+            let line = t.line;
+            let doc = doc_before(sf, ci);
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            let mut ty = String::new();
+            let mut j = ci + 2;
+            while j < close {
+                let tt = match sf.ct(j) {
+                    Some(tt) => tt,
+                    None => break,
+                };
+                if tt.is_punct('(') || tt.is_punct('[') {
+                    depth += 1;
+                } else if tt.is_punct(')') || tt.is_punct(']') {
+                    depth -= 1;
+                } else if tt.is_punct('-') && sf.ct(j + 1).is_some_and(|n| n.is_punct('>')) {
+                    ty.push_str(" ->");
+                    j += 2;
+                    continue;
+                } else if tt.is_punct('<') {
+                    angle += 1;
+                } else if tt.is_punct('>') {
+                    angle -= 1;
+                }
+                if tt.is_punct(',') && depth == 0 && angle <= 0 {
+                    break;
+                }
+                if !ty.is_empty() {
+                    ty.push(' ');
+                }
+                ty.push_str(&tt.text);
+                j += 1;
+            }
+            st.fields.push(FieldDecl {
+                strukt: strukt.to_string(),
+                name,
+                ty,
+                doc,
+                path: sf.path.clone(),
+                line,
+            });
+            ci = j + 1;
+            continue;
+        }
+        ci += 1;
+    }
+}
+
+/// Concatenated doc/comment text immediately preceding the code token at
+/// `ci`, walking back over attributes and visibility (`pub`,
+/// `pub(crate)`).
+fn doc_before(sf: &SourceFile, ci: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut ti = sf.code[ci];
+    loop {
+        if ti == 0 {
+            break;
+        }
+        ti -= 1;
+        let t = &sf.toks[ti];
+        if t.kind == TokKind::Comment {
+            parts.push(&t.text);
+            continue;
+        }
+        if t.is_ident("pub") {
+            continue;
+        }
+        // Walk back through a `pub(crate)` restriction to its `(`;
+        // the `pub` itself is consumed by the branch above next round.
+        if t.is_punct(')') {
+            let mut depth = 0i32;
+            loop {
+                let t = &sf.toks[ti];
+                if t.is_punct(')') {
+                    depth += 1;
+                } else if t.is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if ti == 0 {
+                    return String::new();
+                }
+                ti -= 1;
+            }
+            if ti > 0 && sf.toks[ti - 1].is_ident("pub") {
+                continue;
+            }
+            break;
+        }
+        // Walk back through an attribute `#[...]` to its `#`.
+        if t.is_punct(']') {
+            let mut depth = 0i32;
+            loop {
+                let t = &sf.toks[ti];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if ti == 0 {
+                    return String::new();
+                }
+                ti -= 1;
+            }
+            if ti > 0 && sf.toks[ti - 1].is_punct('#') {
+                ti -= 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    parts.reverse();
+    parts.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        let sf = SourceFile::parse("crates/sched/src/x.rs", src);
+        SymbolTable::build(std::slice::from_ref(&sf))
+    }
+
+    #[test]
+    fn params_and_ret_are_parsed() {
+        let t = table(
+            "impl L { pub fn transfer(&self, bytes: u64) -> SimDur { x } }\n\
+             fn free(a_ns: u64, (x, y): (u64, u64)) {}\n",
+        );
+        let tr = &t.fns[t.fn_by_name["transfer"][0]];
+        assert_eq!(tr.params.len(), 1);
+        assert_eq!(tr.params[0].name, "bytes");
+        assert_eq!(tr.params[0].ty, "u64");
+        assert_eq!(tr.ret, "SimDur");
+        assert_eq!(t.fn_ret_unit("transfer"), Some(Unit::Ns));
+        let fr = &t.fns[t.fn_by_name["free"][0]];
+        assert_eq!(fr.params.len(), 2);
+        assert_eq!(fr.params[0].name, "a_ns");
+        assert_eq!(fr.params[1].name, "");
+    }
+
+    #[test]
+    fn generic_fn_bounds_do_not_eat_the_param_list() {
+        let t = table("fn f<F: Fn() -> u8>(g: F, n_bytes: u64) {}");
+        let f = &t.fns[t.fn_by_name["f"][0]];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].name, "n_bytes");
+    }
+
+    #[test]
+    fn fields_carry_types_and_docs() {
+        let t = table(
+            "struct RunState {\n\
+             \x20   /// Dense per-event job state, indexed by `JobId.0`.\n\
+             \x20   hot: Vec<HotJob>,\n\
+             \x20   pub latency: SimDur,\n\
+             \x20   index: BTreeMap<(usize, u64), u32>,\n\
+             }\n",
+        );
+        assert_eq!(t.fields.len(), 3);
+        let hot = &t.fields[t.field_by_name["hot"][0]];
+        assert_eq!(hot.strukt, "RunState");
+        assert_eq!(hot.ty, "Vec < HotJob >");
+        assert!(hot.doc.contains("indexed by `JobId.0`"));
+        assert_eq!(t.field_unit("latency"), Some(Unit::Ns));
+        assert_eq!(t.field_unit("index"), None);
+    }
+
+    #[test]
+    fn conflicting_defs_merge_to_unknown() {
+        let t = table(
+            "struct A { window: SimDur }\n\
+             struct B { window: u64 }\n",
+        );
+        assert_eq!(t.field_unit("window"), None);
+    }
+
+    #[test]
+    fn tuple_structs_are_skipped() {
+        let t = table("struct JobId(pub u64);\nstruct S { id: JobId }\n");
+        assert_eq!(t.fields.len(), 1);
+        assert_eq!(t.fields[0].name, "id");
+    }
+}

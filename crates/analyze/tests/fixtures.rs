@@ -1,7 +1,8 @@
 //! Per-rule fixture tests: every rule has a true-positive fixture, a
 //! clean fixture, and a suppressed-with-justification fixture, exercised
 //! through the public [`northup_analyze::analyze_sources`] entry point
-//! exactly as the CLI does.
+//! exactly as the CLI does. The seeded-bad fixtures for R6–R9 assert
+//! exact `file:line` diagnostics.
 
 use northup_analyze::analyze_sources;
 use northup_analyze::diag::rules;
@@ -14,50 +15,11 @@ fn failing_count(r: &northup_analyze::Report, rule: &str) -> usize {
     r.failing().filter(|f| f.rule == rule).count()
 }
 
-// ---------------------------------------------------------------- R1
-
-#[test]
-fn determinism_true_positive() {
-    let r = one(
-        "crates/core/src/clock.rs",
-        "use std::time::Instant;\nfn now() { let t = Instant::now(); }\n",
-    );
-    assert!(failing_count(&r, rules::DETERMINISM_SOURCES) >= 1);
-}
-
-#[test]
-fn determinism_clean_and_exemptions() {
-    // Virtual time in core is fine.
-    let r = one(
-        "crates/core/src/clock.rs",
-        "use northup_sim::SimTime;\nfn now(t: SimTime) -> SimTime { t }\n",
-    );
-    assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0);
-    // The two carve-outs: sim's own clock module and sched's real backend.
-    for path in ["crates/sim/src/time.rs", "crates/sched/src/real.rs"] {
-        let r = one(
-            path,
-            "use std::time::Instant;\nfn t() { Instant::now(); }\n",
-        );
-        assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0, "{path}");
-    }
-    // Outside the scoped crates the rule does not apply at all.
-    let r = one(
-        "crates/bench/src/wall.rs",
-        "use std::time::Instant;\nfn t() { Instant::now(); }\n",
-    );
-    assert_eq!(failing_count(&r, rules::DETERMINISM_SOURCES), 0);
-}
-
-#[test]
-fn determinism_suppressed_with_justification() {
-    let r = one(
-        "crates/sim/src/warmup.rs",
-        "// analyze:allow(determinism-sources): wall-clock used only for a log banner\n\
-         fn t() { std::time::Instant::now(); }\n",
-    );
-    assert_eq!(r.failing().count(), 0);
-    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+fn failing_lines(r: &northup_analyze::Report, rule: &str) -> Vec<u32> {
+    r.failing()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
 }
 
 // ---------------------------------------------------------------- R2
@@ -245,6 +207,359 @@ fn lock_order_suppressed_with_justification() {
     assert!(r.findings.iter().any(|f| f.suppressed));
 }
 
+// ---------------------------------------------------------------- R6
+
+#[test]
+fn unit_mixed_arithmetic_true_positive() {
+    let r = one(
+        "crates/fleet/src/score.rs",
+        "fn score(deadline_ns: u64, payload_bytes: u64) -> u64 {\n\
+         \x20   deadline_ns + payload_bytes\n\
+         }\n",
+    );
+    assert_eq!(failing_lines(&r, rules::UNIT_CONSISTENCY), vec![2]);
+    let f = r
+        .failing()
+        .find(|f| f.rule == rules::UNIT_CONSISTENCY)
+        .unwrap();
+    assert!(f.message.contains("deadline_ns"), "{}", f.message);
+    assert!(f.message.contains("payload_bytes"), "{}", f.message);
+}
+
+#[test]
+fn unit_mixed_comparison_true_positive() {
+    let r = one(
+        "crates/sched/src/quota.rs",
+        "fn over(t_ns: u64, quota_bytes: u64) -> bool {\n\
+         \x20   t_ns < quota_bytes\n\
+         }\n",
+    );
+    assert_eq!(failing_lines(&r, rules::UNIT_CONSISTENCY), vec![2]);
+}
+
+#[test]
+fn unit_field_and_type_inference() {
+    // `latency: SimDur` is ns by declared type; adding a byte count to
+    // it through field access must flag, on the exact line.
+    let r = one(
+        "crates/fleet/src/link.rs",
+        "struct Link {\n\
+         \x20   latency: SimDur,\n\
+         \x20   staged_bytes: u64,\n\
+         }\n\
+         impl Link {\n\
+         \x20   fn broken(&self) -> u64 {\n\
+         \x20       self.latency + self.staged_bytes\n\
+         \x20   }\n\
+         }\n",
+    );
+    assert_eq!(failing_lines(&r, rules::UNIT_CONSISTENCY), vec![7]);
+}
+
+#[test]
+fn unit_clean_cases() {
+    // Same unit: fine. Multiplication/division change units: erased,
+    // never flagged. Unknown operands never flag.
+    let r = one(
+        "crates/fleet/src/score.rs",
+        "fn ok(a_ns: u64, b_ns: u64, n: u64, c_bytes: u64) -> u64 {\n\
+         \x20   let total_ns = a_ns + b_ns;\n\
+         \x20   let scaled = n * c_bytes;\n\
+         \x20   let mixed_product = a_ns + n * c_bytes;\n\
+         \x20   total_ns + scaled + mixed_product\n\
+         }\n",
+    );
+    assert_eq!(failing_count(&r, rules::UNIT_CONSISTENCY), 0);
+    // Out-of-scope crate: no findings.
+    let r = one(
+        "crates/apps/src/x.rs",
+        "fn f(a_ns: u64, b_bytes: u64) -> u64 { a_ns + b_bytes }\n",
+    );
+    assert_eq!(failing_count(&r, rules::UNIT_CONSISTENCY), 0);
+    // Test code is out of scope.
+    let r = one(
+        "crates/fleet/src/score.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x = 1_u64; let _ = x + 2; }\n    fn h(a_ns: u64, b_bytes: u64) -> u64 { a_ns + b_bytes }\n}\n",
+    );
+    assert_eq!(failing_count(&r, rules::UNIT_CONSISTENCY), 0);
+}
+
+#[test]
+fn unit_call_site_argument_check() {
+    // Interprocedural: the declared parameter is bytes, the argument is
+    // ns — flagged at the call site.
+    let r = one(
+        "crates/fleet/src/xfer.rs",
+        "fn transfer(bytes: u64) -> u64 { bytes }\n\
+         fn caller(window_ns: u64) -> u64 {\n\
+         \x20   transfer(window_ns)\n\
+         }\n",
+    );
+    assert_eq!(failing_lines(&r, rules::UNIT_CONSISTENCY), vec![3]);
+    let f = r
+        .failing()
+        .find(|f| f.rule == rules::UNIT_CONSISTENCY)
+        .unwrap();
+    assert!(f.message.contains("parameter `bytes`"), "{}", f.message);
+}
+
+#[test]
+fn unit_suppressed_with_justification() {
+    let r = one(
+        "crates/fleet/src/score.rs",
+        "fn score(deadline_ns: u64, payload_bytes: u64) -> u64 {\n\
+         \x20   // analyze:allow(unit-consistency): score is an intentionally unitless blend\n\
+         \x20   deadline_ns + payload_bytes\n\
+         }\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R7
+
+/// A fixture arena: `hot` is declared indexed by `JobId.0`.
+const ARENA_DECL: &str = "\
+pub struct RunState {
+    /// Dense per-job state, indexed by `JobId.0`.
+    pub hot: Vec<HotJob>,
+}
+";
+
+#[test]
+fn arena_literal_index_true_positive() {
+    let src = format!(
+        "{ARENA_DECL}fn peek(st: &RunState) -> u32 {{\n\
+         \x20   st.hot[3].chain\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/peek.rs", &src);
+    assert_eq!(failing_lines(&r, rules::ARENA_INDEX), vec![6]);
+}
+
+#[test]
+fn arena_cross_domain_index_true_positive() {
+    // `hot` is JobId-indexed; indexing it with a NodeId projection is
+    // the cross-domain hazard.
+    let src = format!(
+        "{ARENA_DECL}fn wrong(st: &RunState, node: NodeId) -> u32 {{\n\
+         \x20   st.hot[node.0 as usize].chain\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/wrong.rs", &src);
+    assert_eq!(failing_lines(&r, rules::ARENA_INDEX), vec![6]);
+    let f = r.failing().find(|f| f.rule == rules::ARENA_INDEX).unwrap();
+    assert!(f.message.contains("JobId"), "{}", f.message);
+    assert!(f.message.contains("NodeId"), "{}", f.message);
+}
+
+#[test]
+fn arena_raw_index_true_positive() {
+    let src = format!(
+        "{ARENA_DECL}fn raw(st: &RunState) -> u32 {{\n\
+         \x20   let k = pick();\n\
+         \x20   st.hot[k].chain\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/raw.rs", &src);
+    assert_eq!(failing_lines(&r, rules::ARENA_INDEX), vec![7]);
+}
+
+#[test]
+fn arena_stale_index_after_compaction() {
+    let src = format!(
+        "{ARENA_DECL}fn stale(st: &mut RunState) {{\n\
+         \x20   for i in 0..st.hot.len() {{\n\
+         \x20       touch(st.hot[i]);\n\
+         \x20       st.hot.swap_remove(i);\n\
+         \x20       audit(st.hot[i]);\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/stale.rs", &src);
+    assert_eq!(failing_lines(&r, rules::ARENA_INDEX), vec![9]);
+    let f = r.failing().find(|f| f.rule == rules::ARENA_INDEX).unwrap();
+    assert!(f.message.contains("swap_remove"), "{}", f.message);
+}
+
+#[test]
+fn arena_clean_cases() {
+    // Matching-domain projection, sanctioned loop var, growth (push) not
+    // treated as compaction, and owner (`self.`) access: all clean.
+    let src = format!(
+        "{ARENA_DECL}fn fine(st: &mut RunState, id: JobId) -> u32 {{\n\
+         \x20   for i in 0..st.hot.len() {{\n\
+         \x20       touch(st.hot[i]);\n\
+         \x20       st.hot.push(fresh());\n\
+         \x20       touch(st.hot[i]);\n\
+         \x20   }}\n\
+         \x20   st.hot[id.0 as usize].chain\n\
+         }}\n\
+         impl RunState {{\n\
+         \x20   fn own(&self, k: usize) -> u32 {{ self.hot[k].chain }}\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/fine.rs", &src);
+    assert_eq!(failing_count(&r, rules::ARENA_INDEX), 0);
+}
+
+#[test]
+fn arena_suppressed_with_justification() {
+    let src = format!(
+        "{ARENA_DECL}fn boot(st: &RunState) -> u32 {{\n\
+         \x20   // analyze:allow(arena-index): job 0 is the sentinel root; exists by construction\n\
+         \x20   st.hot[0].chain\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/boot.rs", &src);
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// ---------------------------------------------------------------- R8
+
+#[test]
+fn determinism_direct_true_positive() {
+    let r = one(
+        "crates/core/src/clock.rs",
+        "use std::time::Instant;\nfn now_wall() { let t = Instant::now(); }\n",
+    );
+    assert!(failing_count(&r, rules::DETERMINISM_TAINT) >= 1);
+}
+
+#[test]
+fn determinism_clean_and_exemptions() {
+    // Virtual time in core is fine.
+    let r = one(
+        "crates/core/src/clock.rs",
+        "use northup_sim::SimTime;\nfn now(t: SimTime) -> SimTime { t }\n",
+    );
+    assert_eq!(failing_count(&r, rules::DETERMINISM_TAINT), 0);
+    // The two carve-outs: sim's own clock module and sched's real backend.
+    for path in ["crates/sim/src/time.rs", "crates/sched/src/real.rs"] {
+        let r = one(
+            path,
+            "use std::time::Instant;\nfn t() { Instant::now(); }\n",
+        );
+        assert_eq!(failing_count(&r, rules::DETERMINISM_TAINT), 0, "{path}");
+    }
+    // Outside the scoped crates the rule does not apply at all.
+    let r = one(
+        "crates/bench/src/wall.rs",
+        "use std::time::Instant;\nfn t() { Instant::now(); }\n",
+    );
+    assert_eq!(failing_count(&r, rules::DETERMINISM_TAINT), 0);
+}
+
+#[test]
+fn determinism_suppressed_with_justification() {
+    let r = one(
+        "crates/sim/src/warmup.rs",
+        "// analyze:allow(determinism-taint): wall-clock used only for a log banner\n\
+         fn t() { std::time::Instant::now(); }\n",
+    );
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+// The interprocedural (cross-crate) taint fixtures live in
+// tests/interproc.rs.
+
+// ---------------------------------------------------------------- R9
+
+/// A fixture event store: packed calendar events in a ring + overflow.
+const EVENT_DECL: &str = "\
+pub struct CalendarQueue {
+    /// Near-horizon buckets of packed events.
+    ring: Vec<Vec<Packed>>,
+    /// Far-future packed events, kept max-heap-ordered.
+    overflow: Vec<Packed>,
+}
+";
+
+#[test]
+fn event_order_by_key_true_positive() {
+    let src = format!(
+        "{EVENT_DECL}fn bad(q: &mut CalendarQueue) {{\n\
+         \x20   q.overflow.sort_by_key(|e| e.0);\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/cal.rs", &src);
+    assert_eq!(failing_lines(&r, rules::EVENT_ORDER), vec![8]);
+    let f = r.failing().find(|f| f.rule == rules::EVENT_ORDER).unwrap();
+    assert!(
+        f.message.contains("(SimTime, kind, id, seq)"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn event_order_projecting_comparator_true_positive() {
+    let src = format!(
+        "{EVENT_DECL}fn bad(q: &mut CalendarQueue) {{\n\
+         \x20   q.overflow.sort_unstable_by(|a, b| a.0.cmp(&b.0));\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/cal.rs", &src);
+    assert_eq!(failing_lines(&r, rules::EVENT_ORDER), vec![8]);
+}
+
+#[test]
+fn event_order_through_alias_and_iterator() {
+    // An alias to the store and an iterator adapter both keep the
+    // event-store identity.
+    let src = format!(
+        "{EVENT_DECL}impl CalendarQueue {{\n\
+         \x20   fn bad(&mut self) {{\n\
+         \x20       let ovf = &mut self.overflow;\n\
+         \x20       ovf.sort_by_key(|e| e.1);\n\
+         \x20   }}\n\
+         \x20   fn peek(&self) -> Option<&Packed> {{\n\
+         \x20       self.overflow.iter().min_by_key(|e| e.0)\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/cal.rs", &src);
+    assert_eq!(failing_lines(&r, rules::EVENT_ORDER), vec![10, 13]);
+}
+
+#[test]
+fn event_order_clean_cases() {
+    // Whole-tuple comparators and full sorts honor the contract; other
+    // containers are not event stores.
+    let src = format!(
+        "{EVENT_DECL}fn fine(q: &mut CalendarQueue, jobs: &mut Vec<u64>) {{\n\
+         \x20   q.overflow.sort_unstable_by(|a, b| b.cmp(a));\n\
+         \x20   q.overflow.sort_unstable();\n\
+         \x20   jobs.sort_by_key(|j| *j);\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/cal.rs", &src);
+    assert_eq!(failing_count(&r, rules::EVENT_ORDER), 0);
+    // fleet is out of R9 scope.
+    let src = format!(
+        "{EVENT_DECL}fn elsewhere(q: &mut CalendarQueue) {{\n\
+         \x20   q.overflow.sort_by_key(|e| e.0);\n\
+         }}\n"
+    );
+    let r = one("crates/fleet/src/cal.rs", &src);
+    assert_eq!(failing_count(&r, rules::EVENT_ORDER), 0);
+}
+
+#[test]
+fn event_order_suppressed_with_justification() {
+    let src = format!(
+        "{EVENT_DECL}fn scan(q: &mut CalendarQueue) {{\n\
+         \x20   // analyze:allow(event-order): diagnostic histogram only; result never feeds scheduling\n\
+         \x20   q.overflow.sort_by_key(|e| e.0);\n\
+         }}\n"
+    );
+    let r = one("crates/sched/src/cal.rs", &src);
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
 // ------------------------------------------------- suppression hygiene
 
 #[test]
@@ -266,13 +581,28 @@ fn unknown_rule_in_allow_fails() {
         "// analyze:allow(made-up-rule): sounds legit\nfn f() {}\n",
     );
     assert!(failing_count(&r, rules::SUPPRESSION) >= 1);
+    // The retired R1 name now counts as unknown — stale directives must
+    // be migrated to determinism-taint, not silently ignored.
+    let r = one(
+        "crates/core/src/cache.rs",
+        "// analyze:allow(determinism-sources): pre-PR8 directive\nfn f() {}\n",
+    );
+    assert!(failing_count(&r, rules::SUPPRESSION) >= 1);
 }
 
 #[test]
-fn unused_justified_allow_is_harmless() {
+fn unused_justified_allow_is_a_finding() {
+    // Satellite: a justified allow that matches no finding is dead
+    // weight that would mask a future regression — it fails.
     let r = one(
         "crates/core/src/fine.rs",
         "// analyze:allow(panic-paths): defensive allow on a line that is clean\nfn f() {}\n",
     );
-    assert_eq!(r.failing().count(), 0);
+    assert_eq!(failing_count(&r, rules::SUPPRESSION), 1);
+    let f = r.failing().find(|f| f.rule == rules::SUPPRESSION).unwrap();
+    assert!(f.message.contains("matches no finding"), "{}", f.message);
+    // Severity tier: suppression hygiene is a warning, invariant rules
+    // are errors — but both fail the run.
+    assert_eq!(f.severity().as_str(), "warning");
+    assert!(!r.is_clean());
 }

@@ -1,0 +1,205 @@
+//! Interprocedural fixtures: every test here spans at least two files,
+//! and the determinism-taint cases cross a crate boundary — the wrapped
+//! `Instant` lives in `crates/hw` while the finding lands at the call
+//! site in `crates/sched`. This is the acceptance fixture for the
+//! call-graph layer: a per-file analysis cannot produce these findings.
+
+use northup_analyze::analyze_sources;
+use northup_analyze::diag::rules;
+
+fn world(srcs: &[(&str, &str)]) -> northup_analyze::Report {
+    let owned: Vec<(String, String)> = srcs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_sources(&owned)
+}
+
+/// A nondeterminism source and a wrapper around it, both in `crates/hw`
+/// — outside R8's modeled-path scope, so neither is a finding *there*.
+const HW_ENTROPY: &str = "\
+pub fn jitter_seed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}
+
+pub fn seed_mix(salt: u64) -> u64 {
+    jitter_seed() ^ salt
+}
+";
+
+#[test]
+fn taint_crosses_crate_boundary_through_a_wrapper() {
+    let r = world(&[
+        ("crates/hw/src/entropy.rs", HW_ENTROPY),
+        (
+            "crates/sched/src/pick.rs",
+            "fn choose(weights: &[u64]) -> usize {\n\
+             \x20   let seed = seed_mix(17);\n\
+             \x20   (seed as usize) % weights.len()\n\
+             }\n",
+        ),
+    ]);
+    let taint: Vec<_> = r
+        .failing()
+        .filter(|f| f.rule == rules::DETERMINISM_TAINT)
+        .collect();
+    assert_eq!(taint.len(), 1, "{taint:?}");
+    let f = taint[0];
+    // The finding is at the sched call site, two hops from the source.
+    assert_eq!(f.path, "crates/sched/src/pick.rs");
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("call to `seed_mix`"), "{}", f.message);
+    // The witness names the defining file in the *other* crate and the
+    // full chain down to the direct source.
+    assert!(
+        f.message.contains("crates/hw/src/entropy.rs"),
+        "{}",
+        f.message
+    );
+    assert!(
+        f.message.contains("seed_mix → jitter_seed"),
+        "{}",
+        f.message
+    );
+    assert_eq!(f.severity().as_str(), "error");
+}
+
+#[test]
+fn direct_call_to_remote_source_is_flagged() {
+    let r = world(&[
+        ("crates/hw/src/entropy.rs", HW_ENTROPY),
+        (
+            "crates/fleet/src/spread.rs",
+            "fn scatter() -> u64 {\n\
+             \x20   jitter_seed()\n\
+             }\n",
+        ),
+    ]);
+    let taint: Vec<_> = r
+        .failing()
+        .filter(|f| f.rule == rules::DETERMINISM_TAINT)
+        .collect();
+    assert_eq!(taint.len(), 1, "{taint:?}");
+    assert_eq!(taint[0].path, "crates/fleet/src/spread.rs");
+    assert_eq!(taint[0].line, 2);
+}
+
+#[test]
+fn carve_out_wrappers_do_not_propagate_taint() {
+    // sim/src/time.rs is the sanctioned wrapper for real time: its fns
+    // never become tainted, so sched code calling them stays clean.
+    let r = world(&[
+        (
+            "crates/sim/src/time.rs",
+            "pub fn wall_anchor() -> u64 {\n\
+             \x20   let t = std::time::Instant::now();\n\
+             \x20   t.elapsed().as_nanos() as u64\n\
+             }\n",
+        ),
+        (
+            "crates/sched/src/anchor.rs",
+            "fn resync() -> u64 {\n\
+             \x20   wall_anchor()\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(
+        r.failing()
+            .filter(|f| f.rule == rules::DETERMINISM_TAINT)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn test_fns_do_not_poison_same_named_runtime_fns() {
+    // Propagation is name-keyed; a #[cfg(test)] fn that touches Instant
+    // must not taint an unrelated runtime fn that shares its name.
+    let r = world(&[
+        (
+            "crates/hw/src/probe.rs",
+            "#[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn poll() { let t = std::time::Instant::now(); let _ = t; }\n\
+             }\n",
+        ),
+        (
+            "crates/sched/src/duty.rs",
+            "fn poll() -> u64 { 7 }\n\
+             fn tick() -> u64 {\n\
+             \x20   poll()\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(
+        r.failing()
+            .filter(|f| f.rule == rules::DETERMINISM_TAINT)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn tainted_call_site_is_suppressable_with_justification() {
+    let r = world(&[
+        ("crates/hw/src/entropy.rs", HW_ENTROPY),
+        (
+            "crates/sched/src/banner.rs",
+            "fn banner_tag() -> u64 {\n\
+             \x20   // analyze:allow(determinism-taint): log banner only; never schedule-visible\n\
+             \x20   seed_mix(9)\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(r.failing().count(), 0);
+    assert_eq!(r.findings.iter().filter(|f| f.suppressed).count(), 1);
+}
+
+#[test]
+fn unit_mismatch_at_cross_crate_call_site() {
+    // The callee declares its parameter in bytes (crates/fleet); the
+    // caller passes nanoseconds (crates/sched). The finding lands at the
+    // caller's line.
+    let fleet = "pub fn admit(payload_bytes: u64) -> bool {\n\
+                 \x20   payload_bytes > 0\n\
+                 }\n";
+    let r = world(&[
+        ("crates/fleet/src/link.rs", fleet),
+        (
+            "crates/sched/src/gate.rs",
+            "fn gate(deadline_ns: u64) -> bool {\n\
+             \x20   admit(deadline_ns)\n\
+             }\n",
+        ),
+    ]);
+    let units: Vec<_> = r
+        .failing()
+        .filter(|f| f.rule == rules::UNIT_CONSISTENCY)
+        .collect();
+    assert_eq!(units.len(), 1, "{units:?}");
+    assert_eq!(units[0].path, "crates/sched/src/gate.rs");
+    assert_eq!(units[0].line, 2);
+    assert!(
+        units[0].message.contains("parameter `payload_bytes`"),
+        "{}",
+        units[0].message
+    );
+    // Passing an actual byte count is clean.
+    let r = world(&[
+        ("crates/fleet/src/link.rs", fleet),
+        (
+            "crates/sched/src/gate.rs",
+            "fn gate(staged_bytes: u64) -> bool {\n\
+             \x20   admit(staged_bytes)\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(
+        r.failing()
+            .filter(|f| f.rule == rules::UNIT_CONSISTENCY)
+            .count(),
+        0
+    );
+}

@@ -1,0 +1,122 @@
+//! Lexer torture tests: raw strings with multiple hashes, nested block
+//! comments, byte literals, and the interactions between them. The
+//! analyzer's soundness rests on the lexer never mistaking literal or
+//! comment *content* for code — a `panic!` inside an `r##"…"##` string
+//! must not become a finding, and an `analyze:allow` inside a nested
+//! block comment must still parse as one comment token.
+
+use northup_analyze::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+fn count(src: &str, kind: TokKind) -> usize {
+    lex(src).iter().filter(|t| t.kind == kind).count()
+}
+
+#[test]
+fn multi_hash_raw_strings_swallow_their_content() {
+    // One hash, two hashes, three hashes — content with quotes, hashes,
+    // and code-looking text must stay inside one Str token.
+    let one = r####"let a = r#"panic!("x") "quoted" Instant"#;"####;
+    assert_eq!(idents(one), vec!["let", "a"]);
+    assert_eq!(count(one, TokKind::Str), 1);
+
+    // `"#` inside an r##"..."## string does NOT terminate it.
+    let two = "let b = r##\"inner \"# still inside # \" end\"##;";
+    assert_eq!(count(two, TokKind::Str), 1);
+    assert_eq!(idents(two), vec!["let", "b"]);
+
+    let three = "let c = r###\"has \"## and \"# and \" inside\"###; let d = 1;";
+    assert_eq!(count(three, TokKind::Str), 1);
+    assert_eq!(idents(three), vec!["let", "c", "let", "d"]);
+}
+
+#[test]
+fn byte_raw_strings_and_byte_strings() {
+    let src = "let a = br#\"thread_rng \"quoted\"\"#; let b = b\"SystemTime\";";
+    assert_eq!(count(src, TokKind::Str), 2);
+    assert!(!idents(src)
+        .iter()
+        .any(|i| i == "thread_rng" || i == "SystemTime"));
+}
+
+#[test]
+fn raw_string_prefix_is_not_split_off_longer_idents() {
+    // `error"x"` is ident `error` then string — the trailing `r` of the
+    // ident must not start a raw string.
+    let src = "let error = 1; error\"x\";";
+    assert!(idents(src).contains(&"error".to_string()));
+    assert_eq!(count(src, TokKind::Str), 1);
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let src = "/* outer /* inner /* deep */ still inner */ still outer */ fn after() {}";
+    let toks = lex(src);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+        1
+    );
+    assert_eq!(idents(src), vec!["fn", "after"]);
+    // The whole nested comment is one token whose text spans all levels.
+    let c = toks.iter().find(|t| t.kind == TokKind::Comment).unwrap();
+    assert!(c.text.contains("deep"));
+}
+
+#[test]
+fn allow_directive_inside_nested_block_comment_is_one_comment() {
+    let src = "/* analyze:allow(panic-paths): /* nested */ justified */ x.unwrap();";
+    let toks = lex(src);
+    let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+    assert_eq!(comments.len(), 1);
+    assert!(comments[0].text.starts_with("/* analyze:allow"));
+    assert!(comments[0].text.ends_with("justified */"));
+}
+
+#[test]
+fn byte_char_literals_do_not_leak_an_ident() {
+    let src = "let nl = b'\\n'; let ch = b'x'; let q = 'q';";
+    let toks = lex(src);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        3,
+        "b'\\n', b'x', and 'q' are all char-class tokens"
+    );
+    // No stray `b` idents from the prefixes.
+    assert_eq!(idents(src), vec!["let", "nl", "let", "ch", "let", "q"]);
+}
+
+#[test]
+fn line_numbers_survive_multiline_raw_strings_and_comments() {
+    let src = "a\nr#\"line\ntwo\nthree\"#\n/* one\ntwo */\nz";
+    let toks = lex(src);
+    let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+    let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+    assert_eq!(a.line, 1);
+    assert_eq!(z.line, 7);
+}
+
+#[test]
+fn unterminated_torture_inputs_do_not_panic() {
+    lex("r###\"never closed\"## almost");
+    lex("/* /* /* deeply unterminated */ */");
+    lex("b'");
+    lex("b'\\");
+    lex("r#");
+}
+
+#[test]
+fn hash_count_must_match_exactly() {
+    // r#"..."## — the extra hash after the close is its own token, and
+    // the string still terminates at `"#`.
+    let src = "let x = r#\"s\"#; #[attr] fn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    assert!(idents(src).contains(&"attr".to_string()));
+}

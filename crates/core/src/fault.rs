@@ -23,7 +23,7 @@
 //!   for real — both compute the delay with [`RetryPolicy::backoff`].
 //!
 //! Nothing here touches wall clocks or ambient randomness, so the
-//! project's determinism-sources invariant holds by construction.
+//! project's determinism-taint invariant holds by construction.
 
 use crate::topology::NodeId;
 use northup_sim::SimDur;
