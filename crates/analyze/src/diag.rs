@@ -25,12 +25,21 @@ pub mod rules {
     /// R9: ordering packed calendar events by anything other than the
     /// full `(SimTime, kind, id, seq)` tuple.
     pub const EVENT_ORDER: &str = "event-order";
+    /// R10: accessing a mutex-guarded field without its guard live, or
+    /// writing a shared field from thread-escaping code with no lock.
+    pub const LOCK_SET: &str = "lock-set";
+    /// R11: a `Relaxed` access on the publication/consumption edge of a
+    /// release/acquire protocol atomic.
+    pub const ATOMIC_ORDER: &str = "atomic-order";
+    /// R12: holding a lock guard across a call that may block (sleep,
+    /// channel ops, lock acquisition, file I/O — transitively).
+    pub const BLOCKING_EXTENT: &str = "blocking-extent";
     /// Meta-rule: a suppression comment with an empty justification, an
     /// unknown rule name, or no finding to suppress.
     pub const SUPPRESSION: &str = "suppression";
 
     /// Every rule a suppression may name.
-    pub const ALL: [&str; 8] = [
+    pub const ALL: [&str; 11] = [
         ORDERED_ITERATION,
         LEASE_DISCIPLINE,
         PANIC_PATHS,
@@ -39,6 +48,9 @@ pub mod rules {
         ARENA_INDEX,
         DETERMINISM_TAINT,
         EVENT_ORDER,
+        LOCK_SET,
+        ATOMIC_ORDER,
+        BLOCKING_EXTENT,
     ];
 }
 

@@ -1,0 +1,192 @@
+//! The single rules table behind `northup-analyze --explain <rule>`:
+//! every rule's contract, an example, and the allow syntax, so a
+//! suppression justification can reference the exact contract it
+//! waives.
+
+use crate::diag::{rules, severity_of};
+
+/// One rule's documentation.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// Rule identifier (`lock-set`, ...).
+    pub id: &'static str,
+    /// The crates the rule scopes over.
+    pub scope: &'static str,
+    /// The invariant the rule enforces.
+    pub contract: &'static str,
+    /// A minimal violating example.
+    pub example: &'static str,
+}
+
+/// Every rule, suppression meta-rule included, in rule-number order.
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        id: rules::ORDERED_ITERATION,
+        scope: "core, sim, sched, fleet",
+        contract: "No HashMap/HashSet in schedule-affecting code: iteration order \
+                   feeds event order, and unordered maps make replay diverge. Use \
+                   BTreeMap/BTreeSet or sorted vecs.",
+        example: "use std::collections::HashMap;  // in crates/sched",
+    },
+    RuleDoc {
+        id: rules::LEASE_DISCIPLINE,
+        scope: "core, sched, apps",
+        contract: "Every alloc/lease acquisition needs a reachable release on the \
+                   same path, or the handle must escape to a caller that releases \
+                   it; leaked leases starve admission.",
+        example: "let h = ctx.alloc(node, bytes)?;  // no release, h dropped",
+    },
+    RuleDoc {
+        id: rules::PANIC_PATHS,
+        scope: "core, exec, sched, fleet",
+        contract: "No unwrap()/expect()/panic! in non-test runtime code; a panic on \
+                   a pool thread poisons the run. Return the typed error instead.",
+        example: "let v = map.get(&k).unwrap();  // runtime path",
+    },
+    RuleDoc {
+        id: rules::LOCK_ORDER,
+        scope: "exec, sched",
+        contract: "The static lock-acquisition graph (guard extents plus locks \
+                   acquired transitively through calls, over the shared call \
+                   graph) must be acyclic; a cycle is a potential deadlock.",
+        example: "fn a() { _1 = x.lock(); y.lock(); }  fn b() { _2 = y.lock(); x.lock(); }",
+    },
+    RuleDoc {
+        id: rules::UNIT_CONSISTENCY,
+        scope: "core, sched, fleet",
+        contract: "No arithmetic/comparison mixing ns, bytes, byte-seconds, and \
+                   event counts; unit identity comes from ident suffixes, field \
+                   types, and fn signatures, and poisons through mul/div.",
+        example: "let cost = transfer_ns + payload_bytes;",
+    },
+    RuleDoc {
+        id: rules::ARENA_INDEX,
+        scope: "core, sched, fleet",
+        contract: "Dense arena indices (HotJob, ChunkChain, ...) stay in their \
+                   declared domain: no raw/literal/cross-domain usize indexing, \
+                   and no index held across a compacting call (swap_remove, \
+                   retain, sort, ...).",
+        example: "let j = hot[other_domain_id.0 as usize];",
+    },
+    RuleDoc {
+        id: rules::DETERMINISM_TAINT,
+        scope: "core, sim, sched, fleet",
+        contract: "No wall-clock or OS entropy (Instant/SystemTime/thread_rng) \
+                   reaching schedule-visible code, even through helper fns in \
+                   other crates; the call graph is chased with a witness chain. \
+                   Carve-outs: sim/src/time.rs, sched/src/real.rs.",
+        example: "fn stamp() -> u128 { Instant::now().elapsed().as_nanos() }",
+    },
+    RuleDoc {
+        id: rules::EVENT_ORDER,
+        scope: "core, sched",
+        contract: "Packed calendar events are ordered only by the full (SimTime, \
+                   kind, id, seq) tuple; sorting or selecting by a projected key \
+                   drops the tie-break and lets insertion order leak into \
+                   schedules.",
+        example: "events.sort_by_key(|e| e.0);",
+    },
+    RuleDoc {
+        id: rules::LOCK_SET,
+        scope: "exec, sched, fleet",
+        contract: "A field declared `guarded by \\`lock\\`` in its doc comment is \
+                   only touched while that guard is live (locally or via the \
+                   entry-held set every caller provides), and a plain field of a \
+                   shared struct is never written from thread-escaping code \
+                   (spawn/run_chain*/scope/par_for closures and their callees) \
+                   without a lock; findings carry the witness chain to the spawn.",
+        example: "pool.spawn(move || { shared.epoch += 1; });  // no guard",
+    },
+    RuleDoc {
+        id: rules::ATOMIC_ORDER,
+        scope: "exec, sched, fleet",
+        contract: "An atomic with a release/acquire protocol (a Release+ store or \
+                   Acquire+ load anywhere) admits no Relaxed access on the \
+                   opposite edge. CAS failure orderings are exempt, as is any fn \
+                   that issues fence(SeqCst) (the Chase-Lev idiom); counters only \
+                   ever accessed Relaxed have no protocol to violate.",
+        example: "flag.store(true, Ordering::Release);  ...  flag.load(Ordering::Relaxed)",
+    },
+    RuleDoc {
+        id: rules::BLOCKING_EXTENT,
+        scope: "exec, sched, fleet",
+        contract: "No lock guard held across a may-block operation: sleeping, \
+                   channel recv/send, join/park, file I/O, and lock acquisition \
+                   itself, propagated transitively through the call graph. \
+                   Condvar waits handed a held guard are the sleep protocol and \
+                   are exempt.",
+        example: "let g = state.lock(); rx.recv();  // convoy",
+    },
+    RuleDoc {
+        id: rules::SUPPRESSION,
+        scope: "all analyzed files",
+        contract: "Suppression hygiene: an analyze:allow with an empty \
+                   justification, an unknown or retired rule name, or no finding \
+                   left to suppress is itself a (warning-tier) finding.",
+        example: "// analyze:allow(lock-order)  <- no justification",
+    },
+];
+
+/// Render the doc for one rule (or `None` if the rule is unknown).
+pub fn explain(rule: &str) -> Option<String> {
+    let d = RULE_DOCS.iter().find(|d| d.id == rule)?;
+    Some(format!(
+        "{id} ({sev})\n  scope:    {scope}\n  contract: {contract}\n  \
+         example:  {example}\n  allow:    // analyze:allow({id}): <why this \
+         instance upholds the contract anyway>",
+        id = d.id,
+        sev = severity_of(d.id).as_str(),
+        scope = d.scope,
+        contract = d.contract,
+        example = d.example,
+    ))
+}
+
+/// Render the one-line index of every rule (for `--explain` with no or
+/// an unknown argument).
+pub fn index() -> String {
+    let mut out = String::from("rules (use --explain <rule> for the contract):\n");
+    for d in RULE_DOCS {
+        // First sentence: split at ". " so an ellipsis ("HotJob, ...")
+        // inside a sentence does not truncate it.
+        let first = d.contract.split(". ").next().unwrap_or(d.contract);
+        out.push_str(&format!(
+            "  {:<18} {}.\n",
+            d.id,
+            first.trim().trim_end_matches('.')
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::rules;
+
+    #[test]
+    fn every_rule_has_a_doc_and_vice_versa() {
+        for r in rules::ALL.iter().chain([&rules::SUPPRESSION]) {
+            assert!(
+                RULE_DOCS.iter().any(|d| d.id == *r),
+                "rule {r} missing from RULE_DOCS"
+            );
+        }
+        for d in RULE_DOCS {
+            assert!(
+                rules::ALL.contains(&d.id) || d.id == rules::SUPPRESSION,
+                "RULE_DOCS has unknown rule {}",
+                d.id
+            );
+        }
+    }
+
+    #[test]
+    fn explain_renders_contract_and_allow_syntax() {
+        let txt = explain("atomic-order").unwrap();
+        assert!(txt.contains("fence(SeqCst)"));
+        assert!(txt.contains("analyze:allow(atomic-order)"));
+        assert!(explain("no-such-rule").is_none());
+        assert!(index().contains("blocking-extent"));
+    }
+}

@@ -23,10 +23,18 @@
 //! | `arena-index` (R7) | `core`, `sched`, `fleet` | dense arena indices stay in their domain and die on compaction |
 //! | `determinism-taint` (R8) | `core`, `sim`, `sched`, `fleet` | no wall-clock/entropy reaching schedule-visible code, even through helpers in other crates |
 //! | `event-order` (R9) | `core`, `sched` | packed events ordered only by the full `(SimTime, kind, id, seq)` tuple |
+//! | `lock-set` (R10) | `exec`, `sched`, `fleet` | guarded fields touched only under their guard; no unguarded shared-field writes from thread-escaping closures |
+//! | `atomic-order` (R11) | `exec`, `sched`, `fleet` | no `Relaxed` access on a release/acquire protocol edge (fence-carrying fns and CAS failure orderings exempt) |
+//! | `blocking-extent` (R12) | `exec`, `sched`, `fleet` | no lock guard held across a transitively may-block call (condvar waits handed the guard exempt) |
 //!
 //! R8 supersedes the per-file `determinism-sources` rule from PR 3: the
 //! same direct occurrences are still findings, but wrappers are now
-//! chased through the call graph across crate boundaries.
+//! chased through the call graph across crate boundaries. The
+//! concurrency layer (R10–R12, PR 9) shares one [`shared::SharedRegistry`]
+//! of cross-thread state and one [`locks::LockWorld`] of guard extents;
+//! R5 rides the same call graph, and R12 subsumes PR 3's lexical
+//! statement-extent heuristic. `--explain <rule>` prints each rule's
+//! contract from the [`explain`] table.
 //!
 //! Run it as `cargo run -p northup-analyze -- --workspace
 //! [--json out.json] [--sarif out.sarif] [--baseline analyze-baseline.json]
@@ -39,15 +47,21 @@ pub mod baseline;
 pub mod callgraph;
 pub mod dataflow;
 pub mod diag;
+pub mod explain;
 pub mod json;
 pub mod lexer;
 pub mod lockgraph;
+pub mod locks;
+pub mod r10_lockset;
+pub mod r11_atomics;
+pub mod r12_blocking;
 pub mod r6_units;
 pub mod r7_arena;
 pub mod r8_taint;
 pub mod r9_events;
 pub mod rules;
 pub mod sarif;
+pub mod shared;
 pub mod source;
 pub mod symbols;
 pub mod units;
@@ -79,6 +93,16 @@ pub fn analyze_sources(files: &[(String, String)]) -> Report {
     report
         .timings_us
         .push(("callgraph", t.elapsed().as_micros()));
+    let t = Instant::now();
+    let registry = shared::SharedRegistry::build(&parsed, &symbols, &cg);
+    report
+        .timings_us
+        .push(("shared-state registry", t.elapsed().as_micros()));
+    let t = Instant::now();
+    let lock_world = locks::LockWorld::build(&parsed, &symbols, &cg);
+    report
+        .timings_us
+        .push(("lock world", t.elapsed().as_micros()));
     // Rule passes, individually timed. Suppressions apply uniformly
     // afterwards, file by file.
     let mut raw: Vec<Finding> = Vec::new();
@@ -90,7 +114,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> Report {
         .timings_us
         .push(("per-file (R2-R4)", t.elapsed().as_micros()));
     let t = Instant::now();
-    lockgraph::check_lock_order(&parsed, &mut raw);
+    lockgraph::check_lock_order(&parsed, &symbols, &cg, &lock_world, &mut raw);
     report
         .timings_us
         .push(("lock-order (R5)", t.elapsed().as_micros()));
@@ -114,6 +138,21 @@ pub fn analyze_sources(files: &[(String, String)]) -> Report {
     report
         .timings_us
         .push(("event-order (R9)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r10_lockset::check(&parsed, &symbols, &registry, &lock_world, &mut raw);
+    report
+        .timings_us
+        .push(("lock-set (R10)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r11_atomics::check(&parsed, &registry, &mut raw);
+    report
+        .timings_us
+        .push(("atomic-order (R11)", t.elapsed().as_micros()));
+    let t = Instant::now();
+    r12_blocking::check(&parsed, &symbols, &cg, &lock_world, &mut raw);
+    report
+        .timings_us
+        .push(("blocking-extent (R12)", t.elapsed().as_micros()));
     let t = Instant::now();
     for sf in &parsed {
         let mut mine: Vec<Finding> = Vec::new();
@@ -209,16 +248,24 @@ mod tests {
                 .to_string(),
         );
         let r = analyze_sources(&[a.clone(), b]);
-        // The a.rs edge still fails; the b.rs edge is suppressed.
-        assert_eq!(r.failing().count(), 1);
-        assert_eq!(r.findings.len(), 2);
+        // The a.rs edge still fails; the b.rs edge is suppressed. (The
+        // same nested acquisitions also trip R12 blocking-extent, so
+        // counts are per-rule.)
+        assert_eq!(r.failing_for(diag::rules::LOCK_ORDER), 1);
+        assert_eq!(
+            r.findings
+                .iter()
+                .filter(|f| f.rule == diag::rules::LOCK_ORDER)
+                .count(),
+            2
+        );
 
         let b_unsuppressed = (
             "crates/exec/src/b.rs".to_string(),
             "fn ba(s: &S) { let _b = s.b.lock(); let _a = s.a.lock(); }".to_string(),
         );
         let r = analyze_sources(&[a, b_unsuppressed]);
-        assert_eq!(r.failing().count(), 2);
+        assert_eq!(r.failing_for(diag::rules::LOCK_ORDER), 2);
     }
 
     #[test]
@@ -246,12 +293,17 @@ mod tests {
         for expected in [
             "symbols",
             "callgraph",
+            "shared-state registry",
+            "lock world",
             "per-file (R2-R4)",
             "lock-order (R5)",
             "unit-consistency (R6)",
             "arena-index (R7)",
             "determinism-taint (R8)",
             "event-order (R9)",
+            "lock-set (R10)",
+            "atomic-order (R11)",
+            "blocking-extent (R12)",
             "suppressions",
         ] {
             assert!(names.contains(&expected), "missing pass timing {expected}");

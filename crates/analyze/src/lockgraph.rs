@@ -1,119 +1,73 @@
 //! R5: static lock-order analysis over `exec`/`sched`.
 //!
-//! Lock identity is the field/variable name the `.lock()` is called on
-//! (`self.injector.lock()` → `injector`) — in this workspace those are
-//! distinct mutex fields, so the name is the lock. For each non-test
-//! function we record which locks it acquires and how long each guard is
-//! held:
-//!
-//! * `let g = x.lock();` — held until `drop(g)` or the end of the
-//!   innermost enclosing block;
-//! * a statement temporary (`x.lock().push(..);`) — held to the end of
-//!   its statement (conservatively: through an attached block for
-//!   `if let` conditions, matching pre-2024 temporary lifetimes).
+//! Since PR 9 this rule consumes the shared [`LockWorld`] — acquisition
+//! sites, guard extents, and the call-graph fixpoint of transitive lock
+//! sets are built once (over [`crate::callgraph::CallGraph`]) and shared
+//! with R10/R12 — instead of the private name-keyed propagation the rule
+//! carried since PR 3. The reported edges and cycle shapes are
+//! unchanged.
 //!
 //! While a guard is held, a nested `.lock()` adds the edge
 //! `held → nested`, and a call to another analyzed function adds edges
-//! to every lock that callee (transitively) acquires — a function-level
-//! call-graph approximation keyed by name. Any cycle in the resulting
-//! graph (self-loops included) is a potential deadlock.
+//! to every lock that callee (transitively) acquires. Any cycle in the
+//! resulting graph (self-loops included) is a potential deadlock.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::CallGraph;
 use crate::diag::{rules, Finding};
-use crate::rules::crate_of;
+use crate::locks::LockWorld;
 use crate::source::SourceFile;
-
-/// One `.lock()` site inside a function.
-#[derive(Debug)]
-struct Acq {
-    lock: String,
-    /// Code index of the `lock` ident.
-    site: usize,
-    line: u32,
-    /// Code index past which the guard is no longer held.
-    held_until: usize,
-}
-
-/// One call to a possibly-analyzed function.
-#[derive(Debug)]
-struct Call {
-    callee: String,
-    site: usize,
-    line: u32,
-}
-
-struct FnLocks {
-    path: String,
-    acqs: Vec<Acq>,
-    calls: Vec<Call>,
-}
+use crate::symbols::SymbolTable;
 
 /// Run R5 over the whole file set, appending findings.
-pub fn check_lock_order(files: &[SourceFile], out: &mut Vec<Finding>) {
-    let mut fns: Vec<(String, FnLocks)> = Vec::new();
-    for sf in files {
-        if !matches!(crate_of(&sf.path), Some("exec") | Some("sched")) {
-            continue;
-        }
-        for f in &sf.fns {
-            if f.is_test {
-                continue;
-            }
-            fns.push((f.name.clone(), scan_fn(sf, f)));
-        }
-    }
-    let names: BTreeSet<&str> = fns.iter().map(|(n, _)| n.as_str()).collect();
-
-    // Transitive lock set per function name (fixpoint over the
-    // name-keyed call graph; name collisions merge conservatively).
-    let mut acquired: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for (name, fl) in &fns {
-        let entry = acquired.entry(name.clone()).or_default();
-        for a in &fl.acqs {
-            entry.insert(a.lock.clone());
-        }
-    }
-    loop {
-        let mut changed = false;
-        for (name, fl) in &fns {
-            let mut add = BTreeSet::new();
-            for c in &fl.calls {
-                if let Some(s) = acquired.get(&c.callee) {
-                    add.extend(s.iter().cloned());
-                }
-            }
-            let entry = acquired.entry(name.clone()).or_default();
-            for l in add {
-                changed |= entry.insert(l);
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
+pub fn check_lock_order(
+    files: &[SourceFile],
+    symbols: &SymbolTable,
+    cg: &CallGraph,
+    world: &LockWorld,
+    out: &mut Vec<Finding>,
+) {
     // Edges: held lock → lock acquired (directly or via a call) while
     // held. Deterministic order via BTreeMap; first site per edge wins.
+    // R5 keeps its historical exec/sched scope (fleet holds no locks,
+    // but scoping is explicit, not incidental).
     let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
-    for (_, fl) in &fns {
-        for a in &fl.acqs {
-            for b in &fl.acqs {
+    for (&g, acqs) in &world.acqs {
+        let f = &symbols.fns[g];
+        if !matches!(f.krate.as_deref(), Some("exec" | "sched")) {
+            continue;
+        }
+        let path = &files[f.file].path;
+        for a in acqs {
+            for b in acqs {
                 if b.site > a.site && b.site <= a.held_until {
                     edges
                         .entry((a.lock.clone(), b.lock.clone()))
-                        .or_insert((fl.path.clone(), b.line));
+                        .or_insert((path.clone(), b.line));
                 }
             }
-            for c in &fl.calls {
-                if c.site > a.site && c.site <= a.held_until && names.contains(c.callee.as_str()) {
-                    if let Some(locks) = acquired.get(&c.callee) {
-                        for l in locks {
-                            edges
-                                .entry((a.lock.clone(), l.clone()))
-                                .or_insert((fl.path.clone(), c.line));
-                        }
+            for &c in world.calls_by_caller.get(&g).into_iter().flatten() {
+                let call = &cg.calls[c];
+                if call.ci <= a.site || call.ci > a.held_until {
+                    continue;
+                }
+                // `.lock()` sites are the acquisitions above; `drop(x)`
+                // runs a destructor whose identity the analysis cannot
+                // name.
+                if call.callee == "lock" || call.callee == "drop" {
+                    continue;
+                }
+                let mut locks: BTreeSet<&str> = BTreeSet::new();
+                for &g2 in symbols.fn_by_name.get(&call.callee).into_iter().flatten() {
+                    if world.acqs.contains_key(&g2) {
+                        locks.extend(world.acquired[g2].iter().map(|s| s.as_str()));
                     }
+                }
+                for l in locks {
+                    edges
+                        .entry((a.lock.clone(), l.to_string()))
+                        .or_insert((path.clone(), call.line));
                 }
             }
         }
@@ -169,135 +123,18 @@ fn reaches(graph: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool
     false
 }
 
-/// Collect acquisitions and calls inside one fn body.
-fn scan_fn(sf: &SourceFile, f: &crate::source::FnItem) -> FnLocks {
-    let mut acqs = Vec::new();
-    let mut calls = Vec::new();
-    for ci in (f.body_start + 1)..f.body_end {
-        // Skip nested fn items.
-        if sf
-            .fns
-            .iter()
-            .any(|g| g.sig_start > f.sig_start && g.contains(ci))
-        {
-            continue;
-        }
-        let t = &sf.toks[sf.code[ci]];
-        let next_is = |k: usize, c: char| sf.ct(ci + k).is_some_and(|t| t.is_punct(c));
-        // `.lock()`
-        if t.is_ident("lock")
-            && ci > 0
-            && sf.ct(ci - 1).is_some_and(|p| p.is_punct('.'))
-            && next_is(1, '(')
-            && next_is(2, ')')
-        {
-            let lock = sf
-                .ct(ci.wrapping_sub(2))
-                .filter(|p| p.kind == crate::lexer::TokKind::Ident)
-                .map(|p| p.text.clone())
-                .unwrap_or_else(|| "<expr>".to_string());
-            let held_until = guard_extent(sf, f, ci);
-            acqs.push(Acq {
-                lock,
-                site: ci,
-                line: t.line,
-                held_until,
-            });
-            continue;
-        }
-        // Call: `name(` not preceded by `fn` (a nested definition) and
-        // not one of the acquisition idents just handled.
-        if t.kind == crate::lexer::TokKind::Ident
-            && next_is(1, '(')
-            && !sf.ct(ci.wrapping_sub(1)).is_some_and(|p| p.is_ident("fn"))
-            && !t.is_ident("lock")
-            && !t.is_ident("drop")
-        {
-            calls.push(Call {
-                callee: t.text.clone(),
-                site: ci,
-                line: t.line,
-            });
-        }
-    }
-    FnLocks {
-        path: sf.path.clone(),
-        acqs,
-        calls,
-    }
-}
-
-/// How long the guard from the `.lock()` at code index `ci` is held.
-fn guard_extent(sf: &SourceFile, f: &crate::source::FnItem, ci: usize) -> usize {
-    // Statement start: the token after the nearest `;`/`{`/`}` behind.
-    let mut s = ci;
-    while s > f.body_start + 1 {
-        let t = &sf.toks[sf.code[s - 1]];
-        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-            break;
-        }
-        s -= 1;
-    }
-    let let_bound = sf.ct(s).is_some_and(|t| t.is_ident("let"));
-    if let_bound {
-        // Guard name: `let [mut] g = ...`.
-        let mut gi = s + 1;
-        if sf.ct(gi).is_some_and(|t| t.is_ident("mut")) {
-            gi += 1;
-        }
-        let guard = sf
-            .ct(gi)
-            .filter(|t| t.kind == crate::lexer::TokKind::Ident)
-            .map(|t| t.text.clone());
-        if let Some(g) = guard {
-            // Explicit `drop(g)` ends the hold early.
-            for j in ci..f.body_end {
-                if sf.ct(j).is_some_and(|t| t.is_ident("drop"))
-                    && sf.ct(j + 1).is_some_and(|t| t.is_punct('('))
-                    && sf.ct(j + 2).is_some_and(|t| t.is_ident(&g))
-                    && sf.ct(j + 3).is_some_and(|t| t.is_punct(')'))
-                {
-                    return j;
-                }
-            }
-        }
-        return sf.enclosing_block_end(ci, f.body_end);
-    }
-    // Statement temporary: held to the end of its statement — the next
-    // `;` at this nesting depth (blocks inside the statement, e.g. a
-    // `match` scrutinee or `if let` body, stay inside the hold).
-    let mut depth = 0i32;
-    let mut entered_block = false;
-    for j in ci..f.body_end {
-        let t = &sf.toks[sf.code[j]];
-        if t.is_punct('{') {
-            depth += 1;
-            entered_block = true;
-        } else if t.is_punct('}') {
-            if depth == 0 {
-                return j;
-            }
-            depth -= 1;
-            // `if let Some(x) = m.lock() { .. }` — an attached block
-            // closing back at depth 0 ends the statement.
-            if depth == 0 && entered_block {
-                return j;
-            }
-        } else if t.is_punct(';') && depth == 0 {
-            return j;
-        }
-    }
-    f.body_end
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run(src: &str) -> Vec<Finding> {
         let sf = SourceFile::parse("crates/exec/src/fixture.rs", src);
+        let files = vec![sf];
+        let symbols = SymbolTable::build(&files);
+        let cg = CallGraph::build(&files, &symbols);
+        let world = LockWorld::build(&files, &symbols, &cg);
         let mut out = Vec::new();
-        check_lock_order(&[sf], &mut out);
+        check_lock_order(&files, &symbols, &cg, &world, &mut out);
         out
     }
 
@@ -367,5 +204,29 @@ mod tests {
         let f = run(src);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn cross_crate_propagation_uses_the_shared_call_graph() {
+        // The callee lives in sched; the caller in exec holds `a` across
+        // the call. The shared call graph links them, so the reverse
+        // order elsewhere completes a cycle.
+        let files = vec![
+            SourceFile::parse(
+                "crates/exec/src/a.rs",
+                "fn outer(s: &S) { let _a = s.a.lock(); helper(s); }\n\
+                 fn reverse(s: &S) { let _b = s.b.lock(); let _a = s.a.lock(); }\n",
+            ),
+            SourceFile::parse(
+                "crates/sched/src/b.rs",
+                "fn helper(s: &S) { let _b = s.b.lock(); }\n",
+            ),
+        ];
+        let symbols = SymbolTable::build(&files);
+        let cg = CallGraph::build(&files, &symbols);
+        let world = LockWorld::build(&files, &symbols, &cg);
+        let mut out = Vec::new();
+        check_lock_order(&files, &symbols, &cg, &world, &mut out);
+        assert!(!out.is_empty(), "{out:?}");
     }
 }

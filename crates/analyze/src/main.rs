@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use northup_analyze::baseline::Baseline;
-use northup_analyze::{analyze_sources, analyze_workspace, json, sarif, Report};
+use northup_analyze::{analyze_sources, analyze_workspace, explain, json, sarif, Report};
 
 const USAGE: &str = "\
 northup-analyze — offline static analysis for the Northup workspace
@@ -33,13 +33,16 @@ OPTIONS:
                       (sum of the per-pass timings) exceeds N milliseconds
     --timings         print the per-pass timing table
     --quiet           print only the summary line, not per-finding lines
+    --explain RULE    print RULE's contract, example, and allow syntax
+                      (with no/unknown RULE: the one-line rule index)
     -h, --help        show this help
 
 Suppress a finding with a justified directive on the same or previous line:
     // analyze:allow(<rule>): <why this is sound>
 A justified suppression that matches no finding is itself a finding.
 Rules: ordered-iteration, lease-discipline, panic-paths, lock-order,
-       unit-consistency, arena-index, determinism-taint, event-order.";
+       unit-consistency, arena-index, determinism-taint, event-order,
+       lock-set, atomic-order, blocking-extent.";
 
 fn main() -> ExitCode {
     match run() {
@@ -84,6 +87,13 @@ fn run() -> Result<ExitCode, String> {
                     v.parse::<u128>()
                         .map_err(|_| format!("--max-millis: `{v}` is not a number"))?,
                 );
+            }
+            "--explain" => {
+                match args.next().as_deref().and_then(explain::explain) {
+                    Some(doc) => println!("{doc}"),
+                    None => println!("{}", explain::index()),
+                }
+                return Ok(ExitCode::SUCCESS);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");

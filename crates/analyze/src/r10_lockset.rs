@@ -1,0 +1,167 @@
+//! R10 lock-set race detection.
+//!
+//! Two obligations over the shared-state registry:
+//!
+//! 1. **Guarded fields.** A field declared ``guarded by `lock` `` in its
+//!    doc comment may only be touched while that lock's guard is live —
+//!    either a local acquisition whose extent covers the access
+//!    (let-bound vs statement-temporary extents from [`crate::locks`]),
+//!    or a guard every caller provably holds (the entry-held fixpoint
+//!    propagated through the call graph, so a helper only ever invoked
+//!    under the lock stays clean).
+//! 2. **Escaping writes.** A plain (non-atomic, unguarded) field of a
+//!    shared struct that is *written* from thread-escaping code — a
+//!    closure passed to `spawn`/`run_chain*`/`scope`/`par_for`, or any
+//!    function reachable from one — without any lock held is a data
+//!    race candidate; the finding carries the witness chain back to the
+//!    spawn site.
+//!
+//! Reads of plain fields are not flagged (too noisy without alias
+//! analysis); the write side is where lost updates live.
+
+use crate::diag::{rules, Finding};
+use crate::lexer::TokKind;
+use crate::locks::LockWorld;
+use crate::rules::crate_of;
+use crate::shared::{SharedRegistry, CONCURRENCY_SCOPE};
+use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
+
+/// Run R10 over every file.
+pub fn check(
+    files: &[SourceFile],
+    symbols: &SymbolTable,
+    reg: &SharedRegistry,
+    world: &LockWorld,
+    out: &mut Vec<Finding>,
+) {
+    // (file, item) → global fn index, for guard lookups.
+    let mut gfn = std::collections::BTreeMap::new();
+    for (gi, f) in symbols.fns.iter().enumerate() {
+        gfn.insert((f.file, f.item), gi);
+    }
+    for (fi, sf) in files.iter().enumerate() {
+        if !crate_of(&sf.path).is_some_and(|c| CONCURRENCY_SCOPE.contains(&c)) {
+            continue;
+        }
+        for ci in 0..sf.code.len() {
+            if sf.in_test[ci] {
+                continue;
+            }
+            let t = &sf.toks[sf.code[ci]];
+            if t.kind != TokKind::Ident
+                || ci == 0
+                || !sf.ct(ci - 1).is_some_and(|p| p.is_punct('.'))
+            {
+                continue;
+            }
+            let field = t.text.as_str();
+            let enclosing = sf
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.contains(ci))
+                .max_by_key(|(_, f)| f.body_start);
+            let g = enclosing.and_then(|(item, _)| gfn.get(&(fi, item)).copied());
+
+            if let Some(gf) = reg.guarded.get(field) {
+                // Field initializers in struct literals (`epoch: 0`) are
+                // not accesses; `.field` is, read or write.
+                let held = g.map(|g| world.held_with_entry(g, ci)).unwrap_or_default();
+                if !held.contains(gf.guard.as_str()) {
+                    out.push(Finding {
+                        rule: rules::LOCK_SET,
+                        path: sf.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "access of `{field}` (guarded by `{guard}`, declared at \
+                             {dp}:{dl}) without the `{guard}` guard live; acquire \
+                             `{guard}` across the access or move it behind a method \
+                             that does",
+                            guard = gf.guard,
+                            dp = gf.decl.path,
+                            dl = gf.decl.line,
+                        ),
+                        suppressed: false,
+                        justification: None,
+                    });
+                }
+                continue;
+            }
+
+            // Escaping unguarded write to a plain shared field.
+            if !reg.plain_fields.contains(field) || !is_write(sf, ci) {
+                continue;
+            }
+            let (escaped, chain) = escape_context(fi, ci, g, reg, symbols);
+            if !escaped {
+                continue;
+            }
+            let held = g.map(|g| world.held_with_entry(g, ci)).unwrap_or_default();
+            if held.is_empty() {
+                out.push(Finding {
+                    rule: rules::LOCK_SET,
+                    path: sf.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "write to shared field `{field}` from thread-escaping code \
+                         ({chain}) with no lock held and no atomic type; guard the \
+                         write or make the field atomic"
+                    ),
+                    suppressed: false,
+                    justification: None,
+                });
+            }
+        }
+    }
+}
+
+/// Is the `.field` access at `ci` a write (`= v`, `+= v`, ...)?
+fn is_write(sf: &SourceFile, ci: usize) -> bool {
+    let Some(n) = sf.ct(ci + 1) else { return false };
+    if n.is_punct('=') {
+        // `=` but not `==`.
+        return !sf.ct(ci + 2).is_some_and(|m| m.is_punct('='));
+    }
+    // Compound assignment: `+= -= *= /= %= &= |= ^=` (shifts are spelled
+    // with two puncts and never hit shared counters here).
+    if "+-*/%&|^".chars().any(|c| n.is_punct(c)) {
+        return sf.ct(ci + 2).is_some_and(|m| m.is_punct('='));
+    }
+    false
+}
+
+/// Is `ci` inside thread-escaping code, and how (for the witness)?
+fn escape_context(
+    fi: usize,
+    ci: usize,
+    g: Option<usize>,
+    reg: &SharedRegistry,
+    symbols: &SymbolTable,
+) -> (bool, String) {
+    if let Some(ri) = reg.region_at(fi, ci) {
+        let r = &reg.regions[ri];
+        return (
+            true,
+            format!("closure passed to `{}` at {}:{}", r.entry, r.path, r.line),
+        );
+    }
+    if let Some(g) = g {
+        if reg.escaping[g] {
+            // `escape_chain` walks leaf-to-root; render root-to-leaf.
+            let (names, root) = reg.escape_chain(symbols, g);
+            let chain: Vec<String> = names.into_iter().rev().collect();
+            let prefix = root
+                .map(|ri| {
+                    let r = &reg.regions[ri];
+                    format!(
+                        "closure passed to `{}` at {}:{} → ",
+                        r.entry, r.path, r.line
+                    )
+                })
+                .unwrap_or_default();
+            return (true, format!("{prefix}{}", chain.join(" → ")));
+        }
+    }
+    (false, String::new())
+}

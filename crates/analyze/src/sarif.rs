@@ -30,6 +30,15 @@ pub fn describe(rule: &str) -> &'static str {
         rules::EVENT_ORDER => {
             "packed calendar events are ordered by the full (SimTime, kind, id, seq) tuple"
         }
+        rules::LOCK_SET => {
+            "guarded fields need a live guard; shared plain fields must not be written from thread-escaping code"
+        }
+        rules::ATOMIC_ORDER => {
+            "Relaxed accesses on a release/acquire publication or consumption edge need a fence or a justified allow"
+        }
+        rules::BLOCKING_EXTENT => {
+            "no lock guard may be held across a may-block call (sleep, channel ops, nested locks, file I/O)"
+        }
         rules::SUPPRESSION => "analyze:allow directives must be justified, known, and live",
         _ => "unknown rule",
     }
@@ -138,6 +147,7 @@ mod tests {
             .and_then(|d| d.get("rules"))
             .and_then(baseline::Val::as_arr)
             .unwrap();
-        assert_eq!(rules_arr.len(), 9);
+        // Every rule plus the suppression meta-rule.
+        assert_eq!(rules_arr.len(), rules::ALL.len() + 1);
     }
 }

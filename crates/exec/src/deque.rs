@@ -120,8 +120,8 @@ impl<T> Inner<T> {
 impl<T> Worker<T> {
     /// Best-effort current length (exact only when quiescent).
     pub fn len(&self) -> usize {
-        let b = self.inner.bottom.load(Ordering::Relaxed);
-        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let t = self.inner.top.load(Ordering::Acquire);
         (b - t).max(0) as usize
     }
 
@@ -142,6 +142,7 @@ impl<T: Send> Worker<T> {
     /// Push a value at the bottom. Returns `Err(value)` if the deque is full.
     pub fn push(&self, value: T) -> Result<(), T> {
         let inner = &*self.inner;
+        // analyze:allow(atomic-order): the owner is the only thread that stores `bottom`, so its own program order already sequences this read
         let b = inner.bottom.load(Ordering::Relaxed);
         let t = inner.top.load(Ordering::Acquire);
         if b - t > inner.mask {
@@ -193,8 +194,8 @@ impl<T: Send> Worker<T> {
 impl<T> Stealer<T> {
     /// Best-effort current length.
     pub fn len(&self) -> usize {
-        let b = self.inner.bottom.load(Ordering::Relaxed);
-        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let t = self.inner.top.load(Ordering::Acquire);
         (b - t).max(0) as usize
     }
 

@@ -339,6 +339,7 @@ fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, index: usize) {
         // Sleep with a timed wait as a lost-wakeup safety net.
         shared.sleepers.fetch_add(1, Ordering::AcqRel);
         let mut g = shared.lock.lock();
+        // analyze:allow(blocking-extent): the injector re-check must happen under the sleep lock to avoid lost wakeups, and injector is a leaf lock held O(1)
         let empty = local.is_empty() && shared.injector.lock().is_empty();
         if empty && !shared.shutdown.load(Ordering::Acquire) {
             shared

@@ -1,0 +1,180 @@
+//! Deterministic concurrency stress tests for the real-mode thread
+//! path: the Chase–Lev deque under contention and exactly-once chunk
+//! commits under injected storage faults.
+//!
+//! These are the runtime counterparts of the analyzer's R10–R12 rules:
+//! the invariants checked here (every value claimed exactly once, every
+//! chunk committed exactly once despite retries) are precisely what the
+//! lock-set and atomic-ordering contracts protect. No randomness — the
+//! schedules vary run to run, but every invariant must hold on all of
+//! them, at thread counts 1, 2, and 8.
+
+use northup_exec::chain::CancelToken;
+use northup_exec::deque::{deque, Steal};
+use northup_exec::pool::ThreadPool;
+use northup_hw::{FaultOps, FaultyBackend, HeapBackend, StorageBackend};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Hammer one owner (push + pop) against N stealers; every pushed value
+/// must be claimed by exactly one thread, and the claim counts must add
+/// up: `owner_pops + steals == pushed`.
+#[test]
+fn deque_owner_vs_stealers_claims_each_value_exactly_once() {
+    const VALUES: usize = 10_000;
+    for &stealers in &[1usize, 2, 8] {
+        let (worker, stealer) = deque::<usize>(VALUES.next_power_of_two());
+        let hits: Vec<AtomicU32> = (0..VALUES).map(|_| AtomicU32::new(0)).collect();
+        let done = AtomicBool::new(false);
+        let steals = AtomicU64::new(0);
+        let mut owner_pops = 0u64;
+
+        std::thread::scope(|s| {
+            for _ in 0..stealers {
+                let stealer = stealer.clone();
+                let hits = &hits;
+                let done = &done;
+                let steals = &steals;
+                s.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => {
+                            hits[v].fetch_add(1, Ordering::Relaxed);
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+
+            // Owner: push everything, popping every few pushes so both
+            // ends of the deque stay contended, then drain.
+            for v in 0..VALUES {
+                let mut val = v;
+                while let Err(back) = worker.push(val) {
+                    val = back; // full: make room by claiming one ourselves
+                    if let Some(got) = worker.pop() {
+                        hits[got].fetch_add(1, Ordering::Relaxed);
+                        owner_pops += 1;
+                    }
+                }
+                if v % 7 == 0 {
+                    if let Some(got) = worker.pop() {
+                        hits[got].fetch_add(1, Ordering::Relaxed);
+                        owner_pops += 1;
+                    }
+                }
+            }
+            while let Some(got) = worker.pop() {
+                hits[got].fetch_add(1, Ordering::Relaxed);
+                owner_pops += 1;
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        // Exactly-once: every value claimed by precisely one thread.
+        for (v, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "value {v} claimed {} times with {stealers} stealer(s)",
+                h.load(Ordering::Relaxed)
+            );
+        }
+        // Claim accounting closes: nothing lost, nothing duplicated.
+        let stolen = steals.load(Ordering::Relaxed);
+        assert_eq!(
+            owner_pops + stolen,
+            VALUES as u64,
+            "owner_pops {owner_pops} + steals {stolen} with {stealers} stealer(s)"
+        );
+    }
+}
+
+/// Run a retrying chain whose chunks write through a fault-injecting
+/// backend: every third write fails, the chain retries, and each chunk
+/// must still commit exactly once with the full checksum intact — at
+/// pool sizes 1, 2, and 8.
+#[test]
+fn chain_commits_exactly_once_under_injected_faults() {
+    const CHUNKS: u32 = 16;
+    const LANES: usize = 100;
+    for &threads in &[1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let token = CancelToken::new();
+        let mut backend =
+            FaultyBackend::new(HeapBackend::new("stress", 64 * 1024), FaultOps::Writes, 3);
+        let block = backend.alloc(u64::from(CHUNKS) * 8).expect("alloc");
+        let commits: Vec<AtomicU32> = (0..CHUNKS).map(|_| AtomicU32::new(0)).collect();
+
+        let stats = pool.run_chain_with_retry(
+            0,
+            CHUNKS,
+            &token,
+            4,
+            |_, _| Duration::from_micros(50),
+            |i| {
+                // Fan the chunk's payload computation across the pool,
+                // then commit it with a single (possibly faulted) write.
+                // A failed attempt leaves no trace: the write is the
+                // transaction point and the commit marker only moves on
+                // success.
+                let acc = AtomicU64::new(0);
+                pool.par_for(LANES, 7, |r| {
+                    let base = u64::from(i) * LANES as u64;
+                    let part: u64 = r.map(|k| base + k as u64).sum();
+                    acc.fetch_add(part, Ordering::Relaxed);
+                });
+                let payload = acc.load(Ordering::Relaxed);
+                if backend
+                    .write(block, u64::from(i) * 8, &payload.to_le_bytes())
+                    .is_err()
+                {
+                    return false;
+                }
+                commits[i as usize].fetch_add(1, Ordering::Relaxed);
+                true
+            },
+        );
+
+        assert_eq!(stats.completed, CHUNKS, "{threads} thread(s)");
+        assert!(!stats.gave_up, "{threads} thread(s)");
+        // Every third write faults, so the chain must have retried, and
+        // retries must match the injector's own count exactly.
+        assert!(stats.retries > 0, "{threads} thread(s)");
+        assert_eq!(
+            u64::from(stats.retries),
+            backend.injected(),
+            "{threads} thread(s)"
+        );
+        // Exactly-once commit per chunk, despite the retried attempts.
+        for (i, c) in commits.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "chunk {i} committed {} times with {threads} thread(s)",
+                c.load(Ordering::Relaxed)
+            );
+        }
+        // Checksum: read back every chunk's payload and compare against
+        // the closed form for sum(base..base+LANES).
+        for i in 0..CHUNKS {
+            let mut buf = [0u8; 8];
+            backend
+                .read(block, u64::from(i) * 8, &mut buf)
+                .expect("read");
+            let base = u64::from(i) * LANES as u64;
+            let expect: u64 = (base..base + LANES as u64).sum();
+            assert_eq!(
+                u64::from_le_bytes(buf),
+                expect,
+                "chunk {i} payload with {threads} thread(s)"
+            );
+        }
+    }
+}
