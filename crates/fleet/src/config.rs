@@ -54,6 +54,10 @@ pub struct RouterWeights {
     /// fault a shard has accumulated repels roughly one millisecond's
     /// worth of score.
     pub fault: u64,
+    /// Weight of the SLO-pressure term: shed jobs and guaranteed-class
+    /// p99 overshoot from the shard's latest report repel new work the
+    /// same way fault pressure does.
+    pub slo: u64,
 }
 
 impl Default for RouterWeights {
@@ -62,6 +66,7 @@ impl Default for RouterWeights {
             locality: 1,
             load: 1,
             fault: 1,
+            slo: 1,
         }
     }
 }

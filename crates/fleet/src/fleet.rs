@@ -11,21 +11,27 @@
 //! 3. **Migrate**: on shards that fenced a node, jobs that ended
 //!    `Failed` or `Rejected` move to an untroubled shard, resuming from
 //!    their chunk checkpoint (`JobSpec::resume_from`) after a modeled
-//!    inter-shard transfer. Only the receiving shards re-run.
+//!    inter-shard transfer. Shards whose overload controller *shed*
+//!    work export exactly those shed jobs the same way — overloaded but
+//!    healthy shards offload instead of burning the work. Only the
+//!    receiving shards re-run.
 //! 4. Repeat until no migrations remain or `max_rounds` passes.
 //!
 //! The protocol's exactly-once guarantee rests on one rule: **a shard
-//! that has ever fenced a node accepts no migrants**. Jobs only leave
-//! troubled shards and only enter clean ones, so once a job's chunks
-//! 0..k have run somewhere, that shard's trace — and therefore its
-//! bit-deterministic replay — never changes again, and the remnant
-//! `k..n` runs exactly once elsewhere (DESIGN.md §11).
+//! that has ever exported work — by fencing a node or by shedding under
+//! overload — accepts no migrants**. Jobs only leave such shards and
+//! only enter clean ones, so once a job's chunks 0..k have run
+//! somewhere, that shard's trace — and therefore its bit-deterministic
+//! replay — never changes again, and the remnant `k..n` runs exactly
+//! once elsewhere (DESIGN.md §11).
 
 use crate::config::{FleetConfig, FleetJob};
 use crate::error::FleetError;
 use crate::report::{self, FleetReport, MigrationRecord};
-use crate::router::{cost_ns, mix64, route, ShardView};
-use northup_sched::{JobScheduler, JobSpec, JobState, NodeBudgets, SchedReport};
+use crate::router::{cost_ns, mix64, route, ShardView, PRESSURE_NS};
+use northup_sched::{
+    JobScheduler, JobSpec, JobState, NodeBudgets, Priority, RejectReason, SchedReport,
+};
 use northup_sim::SimTime;
 use std::collections::BTreeSet;
 
@@ -157,6 +163,21 @@ impl Fleet {
                         .map(|&v| u64::from(v))
                         .sum();
                     view.troubled = !r.quarantine_log.is_empty();
+                    // SLO pressure: sheds repel like faults, and p99
+                    // overshoot of the guaranteed class repels in plain
+                    // nanoseconds. A shard that shed work is exporting —
+                    // healthy or not, it accepts no migrants (frozen
+                    // trace ⇒ exactly-once, same rule as quarantine).
+                    view.slo_ns = match &self.cfg.sched.slo {
+                        Some(slo) => {
+                            let p99 = r.class_p99(Priority::Interactive);
+                            let over = p99.0.saturating_sub(slo.targets[0].0);
+                            u128::from(r.shed_log.len() as u64) * u128::from(PRESSURE_NS)
+                                + u128::from(over)
+                        }
+                        None => 0,
+                    };
+                    view.exporting |= !r.shed_log.is_empty();
                 }
             }
             if rounds > self.cfg.max_rounds {
@@ -214,9 +235,13 @@ impl Fleet {
         }))
     }
 
-    /// Jobs whose latest residence is a troubled shard and whose latest
-    /// outcome there is `Failed` or `Rejected` — the migration set, in
-    /// uid order.
+    /// The migration set, in uid order. A *troubled* shard (fenced a
+    /// node) exports every job whose latest outcome there is `Failed`
+    /// or `Rejected`; an *exporting* shard (healthy but overloaded —
+    /// its controller shed work) exports only the jobs it shed, so
+    /// overload spills sideways instead of burning the work. Shed jobs
+    /// whose tenant was over quota stay rejected — migrating them would
+    /// launder the quota debt onto another shard.
     fn find_candidates(
         &self,
         views: &[ShardView],
@@ -226,7 +251,7 @@ impl Fleet {
     ) -> Vec<Candidate> {
         let mut candidates = Vec::new();
         for (s, view) in views.iter().enumerate() {
-            if !view.troubled {
+            if !view.troubled && !view.exporting {
                 continue;
             }
             let Some(report) = &reports[s] else {
@@ -240,7 +265,12 @@ impl Fleet {
                 let Some(out) = report.jobs.get(idx) else {
                     continue;
                 };
-                if !matches!(out.state, JobState::Failed | JobState::Rejected) {
+                let exports = if view.troubled {
+                    matches!(out.state, JobState::Failed | JobState::Rejected)
+                } else {
+                    out.reject_reason == Some(RejectReason::Shed)
+                };
+                if !exports {
                     continue;
                 }
                 candidates.push(Candidate {

@@ -10,11 +10,13 @@
 //!   weights, migration bounds) and [`FleetJob`] (a shard-agnostic spec
 //!   plus its data-home shard).
 //! * [`router`] — the pure scoring function: data locality (input→shard
-//!   affinity), current shard load, and the same sub-threshold
+//!   affinity), current shard load, the same sub-threshold
 //!   fault-pressure signal fault-aware placement uses inside a shard,
-//!   with a seeded splitmix64 tiebreak. Placement is gang-style
-//!   all-or-nothing: a job's whole reservation fits one shard's budget
-//!   vector or the router rejects it.
+//!   and SLO pressure (shed jobs plus guaranteed-class p99 overshoot,
+//!   when per-shard overload control is on), with a seeded splitmix64
+//!   tiebreak. Placement is gang-style all-or-nothing: a job's whole
+//!   reservation fits one shard's budget vector or the router rejects
+//!   it.
 //! * [`fleet`] — [`Fleet`]: instantiate N independent `JobScheduler`s
 //!   (each with budgets and a `FaultPlan` reseeded from the fleet
 //!   seed), run the routed traces, and **migrate** jobs off shards that

@@ -6,7 +6,7 @@
 use crate::config::{FleetConfig, FleetJob};
 use crate::fleet::{Placement, TraceEntry};
 use crate::router::mix64;
-use northup_sched::{JobState, NodeBudgets, Priority, SchedReport};
+use northup_sched::{JobState, NodeBudgets, Priority, RejectReason, SchedReport};
 use northup_sim::{SimDur, SimTime};
 
 /// One cross-shard migration: a checkpointed job moved over the
@@ -60,6 +60,10 @@ pub struct FleetJobOutcome {
     /// Arrival→finish latency for `Done` jobs, measured from the
     /// *original* router arrival (migration transfers included).
     pub latency: Option<SimDur>,
+    /// Why the job was turned away, when it was: the final shard's typed
+    /// rejection reason, or `Infeasible` for router-level rejections
+    /// (the gang reservation fits no shard whole).
+    pub reject_reason: Option<RejectReason>,
 }
 
 /// One shard's slice of the replay, from its final (frozen) report.
@@ -97,6 +101,9 @@ pub struct ShardSummary {
     pub budget: u64,
     /// Every node's peak committed stayed within its budget.
     pub capacity_ok: bool,
+    /// Jobs the shard's overload controller shed (zero when the per-shard
+    /// scheduler runs without an SLO config).
+    pub shed: u64,
 }
 
 /// Per-class completed-job latency percentiles.
@@ -227,19 +234,26 @@ pub(crate) fn build(data: RunData) -> FleetReport {
                 checksum: chunk_checksum(uid as u64, []),
                 exactly_once: true,
                 latency: None,
+                reject_reason: Some(RejectReason::Infeasible),
             });
             continue;
         }
         let locs = &data.path[uid];
-        let (state, chunks_done, finished_at, shard) = match locs.last() {
+        let (state, chunks_done, finished_at, shard, reject_reason) = match locs.last() {
             Some(last) => match data.reports[last.shard]
                 .as_ref()
                 .and_then(|r| r.jobs.get(last.index))
             {
-                Some(out) => (out.state, out.chunks_done, out.finished_at, last.shard),
-                None => (JobState::Rejected, 0, None, last.shard),
+                Some(out) => (
+                    out.state,
+                    out.chunks_done,
+                    out.finished_at,
+                    last.shard,
+                    out.reject_reason,
+                ),
+                None => (JobState::Rejected, 0, None, last.shard, None),
             },
-            None => (JobState::Rejected, 0, None, 0),
+            None => (JobState::Rejected, 0, None, 0, None),
         };
         let mut indices: Vec<u32> = Vec::new();
         for p in locs {
@@ -268,6 +282,7 @@ pub(crate) fn build(data: RunData) -> FleetReport {
             checksum: chunk_checksum(uid as u64, indices.iter().copied()),
             exactly_once,
             latency,
+            reject_reason,
         });
     }
 
@@ -311,6 +326,7 @@ pub(crate) fn build(data: RunData) -> FleetReport {
                     peak,
                     budget: budget_total,
                     capacity_ok,
+                    shed: r.shed_log.len() as u64,
                 }
             }
             None => ShardSummary {
@@ -330,6 +346,7 @@ pub(crate) fn build(data: RunData) -> FleetReport {
                 peak: 0,
                 budget: budget_total,
                 capacity_ok: true,
+                shed: 0,
             },
         };
         shards.push(summary);
@@ -404,6 +421,20 @@ impl FleetReport {
         self.outcomes.iter().filter(|o| o.router_rejected).count()
     }
 
+    /// Jobs whose final settlement carries the given typed rejection
+    /// reason (router rejections count as `Infeasible`).
+    pub fn rejected_for(&self, reason: RejectReason) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.reject_reason == Some(reason))
+            .count()
+    }
+
+    /// Jobs shed by overload controllers fleet-wide (Σ shard shed logs).
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
     /// True when every job's fleet-wide chunk union is exactly its
     /// completed prefix — no chunk ran twice or was lost across
     /// migrations.
@@ -457,6 +488,19 @@ impl FleetReport {
             self.router_rejected(),
             self.count(JobState::Cancelled),
         ));
+        s.push_str("  \"reject_reasons\": {");
+        for (i, reason) in RejectReason::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{}\": {}",
+                reason.label(),
+                self.rejected_for(*reason)
+            ));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"shed\": {},\n", self.shed()));
         s.push_str(&format!(
             "  \"capacity\": {{\"ok\": {}, \"budget\": {}, \"peak\": {}}},\n",
             self.capacity_ok, self.fleet_budget, self.fleet_peak,
@@ -511,7 +555,7 @@ impl FleetReport {
                 "    {{\"shard\": {}, \"jobs\": {}, \"done\": {}, \"failed\": {}, \
                  \"rejected\": {}, \"migrated_in\": {}, \"migrated_out\": {}, \
                  \"faults\": {}, \"quarantines\": {}, \"restores\": {}, \"events\": {}, \
-                 \"makespan_s\": {:.9}, \"peak\": {}, \"capacity_ok\": {}}}{}\n",
+                 \"makespan_s\": {:.9}, \"peak\": {}, \"capacity_ok\": {}, \"shed\": {}}}{}\n",
                 sh.shard,
                 sh.jobs,
                 sh.done,
@@ -526,6 +570,7 @@ impl FleetReport {
                 sh.makespan.as_secs_f64(),
                 sh.peak,
                 sh.capacity_ok,
+                sh.shed,
                 if i + 1 < self.shards.len() { "," } else { "" },
             ));
         }
@@ -566,6 +611,32 @@ mod tests {
         let lats: Vec<SimDur> = (1..=100).map(SimDur::from_millis).collect();
         assert_eq!(percentile(&lats, 50), SimDur::from_millis(50));
         assert_eq!(percentile(&lats, 99), SimDur::from_millis(99));
+    }
+
+    #[test]
+    fn percentile_edge_cases_never_panic_or_lie() {
+        // Empty: a defined zero, not a panic.
+        assert_eq!(percentile(&[], 0), SimDur::ZERO);
         assert_eq!(percentile(&[], 99), SimDur::ZERO);
+        // Single sample: every percentile is that sample.
+        let one = [SimDur::from_millis(7)];
+        for pct in [0, 1, 50, 99, 100] {
+            assert_eq!(percentile(&one, pct), SimDur::from_millis(7));
+        }
+        // All-equal: every percentile is the common value.
+        let same = [SimDur::from_micros(250); 9];
+        for pct in [0, 50, 99, 100] {
+            assert_eq!(percentile(&same, pct), SimDur::from_micros(250));
+        }
+        // Integer indexing: p99 of three samples is the median —
+        // `sorted[(3-1)*99/100] = sorted[1]` — and only p100 reaches
+        // the max (the same convention as `northup_sched::percentile_of`).
+        let three = [
+            SimDur::from_millis(1),
+            SimDur::from_millis(5),
+            SimDur::from_millis(9),
+        ];
+        assert_eq!(percentile(&three, 99), SimDur::from_millis(5));
+        assert_eq!(percentile(&three, 100), SimDur::from_millis(9));
     }
 }

@@ -15,6 +15,12 @@
 //!   fault-aware placement biases on *inside* a shard
 //!   (`SchedReport::node_fault_pressure`), lifted to the router: each
 //!   accumulated fault repels [`PRESSURE_NS`] of score.
+//! * **SLO pressure** — the overload-controller signal: [`PRESSURE_NS`]
+//!   per job the shard shed last round, plus the guaranteed-class p99
+//!   overshoot beyond its target in plain nanoseconds. An
+//!   overloaded-but-healthy shard additionally *exports* load — like a
+//!   quarantined shard it accepts no migrants, so its frozen trace keeps
+//!   the exactly-once chunk accounting.
 //!
 //! Ties break by a splitmix64 hash of `(fleet seed, job uid, shard)` —
 //! deterministic for a fixed seed, yet uncorrelated with submission
@@ -50,6 +56,16 @@ pub(crate) struct ShardView {
     /// changing, which is what keeps completed chunk prefixes stable
     /// across migration rounds (DESIGN.md §11).
     pub troubled: bool,
+    /// SLO pressure from the shard's latest report, in score
+    /// nanoseconds: [`PRESSURE_NS`] per shed job plus the
+    /// guaranteed-class p99 overshoot beyond its target. Healthy shards
+    /// report zero.
+    pub slo_ns: u128,
+    /// The shard is exporting overload (it shed work this replay):
+    /// like `troubled`, it gives work away and accepts no migrants —
+    /// the same frozen-trace rule that keeps chunk prefixes exactly-once
+    /// applies to overload exports.
+    pub exporting: bool,
 }
 
 /// Crude service-time estimate of `remaining` chunks in nanoseconds:
@@ -86,17 +102,19 @@ pub(crate) fn route(
         locality,
         load,
         fault,
+        slo,
     } = cfg.weights;
     let away_ns = u128::from(cfg.link.transfer(transfer_bytes).0);
     let mut best: Option<((u128, u64, usize), usize)> = None;
     for (s, view) in views.iter().enumerate() {
-        if view.troubled || Some(s) == exclude {
+        if view.troubled || view.exporting || Some(s) == exclude {
             continue;
         }
         let locality_ns = if s == home { 0 } else { away_ns };
         let score = u128::from(locality) * locality_ns
             + u128::from(load) * view.load_ns
-            + u128::from(fault) * u128::from(view.pressure) * u128::from(PRESSURE_NS);
+            + u128::from(fault) * u128::from(view.pressure) * u128::from(PRESSURE_NS)
+            + u128::from(slo) * view.slo_ns;
         let tiebreak = mix64(cfg.seed ^ mix64(uid.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ s as u64));
         let key = (score, tiebreak, s);
         if best.as_ref().is_none_or(|(b, _)| key < *b) {
@@ -145,6 +163,22 @@ mod tests {
         assert_eq!(s, Some(2));
         views[2].troubled = true;
         assert_eq!(route(&c, 2, 0, 0, &views, Some(1)), None, "all closed");
+    }
+
+    #[test]
+    fn slo_pressure_repels_and_exporting_excludes() {
+        let c = cfg(3, 11);
+        let mut views = vec![ShardView::default(); 3];
+        // Home shard is drowning in SLO pressure (sheds + p99 overshoot):
+        // new work is repelled even though its data lives there.
+        views[0].slo_ns = u128::from(PRESSURE_NS) * 10_000;
+        let s = route(&c, 4, 0, 1 << 10, &views, None);
+        assert!(s.is_some() && s != Some(0), "repelled off home: {s:?}");
+        // An overloaded-but-healthy shard exporting load accepts no
+        // migrants, exactly like a quarantined one.
+        views[1].exporting = true;
+        views[2].troubled = true;
+        assert_eq!(route(&c, 4, 0, 0, &views, Some(0)), None, "all closed");
     }
 
     #[test]

@@ -52,6 +52,50 @@ impl Priority {
     pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
 }
 
+/// Latency-SLO deadline class: what the service has promised this job,
+/// and therefore what the overload controller (`crate::slo`) may do to
+/// it when the fabric saturates.
+///
+/// The class is orthogonal to [`Priority`] (which decides *admission
+/// order*); the SLO class decides *sacrifice order* under overload.
+/// Jobs that don't declare one inherit a default from their priority
+/// via [`SloClass::for_priority`], which preserves the pre-SLO
+/// behaviour: Interactive work is never shed, Batch work is first
+/// against the wall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SloClass {
+    /// Hard latency promise: never shed, never degraded. The
+    /// controller's whole job is defending this class's p99.
+    Guaranteed,
+    /// Soft promise: may run degraded (brownout) under overload, shed
+    /// only after every best-effort job is gone.
+    Standard,
+    /// No promise: first to be backpressured, shed, and degraded.
+    BestEffort,
+}
+
+impl SloClass {
+    /// The default SLO class a job of priority `p` inherits when its
+    /// spec declares none.
+    pub fn for_priority(p: Priority) -> SloClass {
+        match p {
+            Priority::Interactive => SloClass::Guaranteed,
+            Priority::Normal => SloClass::Standard,
+            Priority::Batch => SloClass::BestEffort,
+        }
+    }
+
+    /// True when the shedding tier may evict or decline this class.
+    pub fn sheddable(self) -> bool {
+        !matches!(self, SloClass::Guaranteed)
+    }
+
+    /// True when the brownout tier may shrink this class's chunk work.
+    pub fn degradable(self) -> bool {
+        !matches!(self, SloClass::Guaranteed)
+    }
+}
+
 /// Lifecycle: `Queued → Admitted → Running → {Done, Failed}`, with
 /// `Rejected` (backpressure / infeasible reservation) and `Cancelled`
 /// as alternative exits. With preemption enabled a `Running` job may be
@@ -172,6 +216,9 @@ pub struct JobSpec {
     /// Optional cancellation time (takes effect from the queue instantly,
     /// or at the next chunk boundary once running).
     pub cancel_at: Option<SimTime>,
+    /// Declared SLO deadline class; `None` inherits
+    /// [`SloClass::for_priority`] (the pre-SLO sacrifice order).
+    pub slo: Option<SloClass>,
     /// Chunks already completed elsewhere before this submission — the
     /// migration hook. A job checkpointed on another scheduler (another
     /// shard of a federation) resumes here from chunk `start_chunk`:
@@ -194,8 +241,22 @@ impl JobSpec {
             reservation,
             work,
             cancel_at: None,
+            slo: None,
             start_chunk: 0,
         }
+    }
+
+    /// Declare an explicit SLO deadline class (overrides the
+    /// priority-derived default).
+    pub fn slo(mut self, class: SloClass) -> Self {
+        self.slo = Some(class);
+        self
+    }
+
+    /// The SLO class the overload controller enforces for this job:
+    /// the declared class, or the priority-derived default.
+    pub fn effective_slo(&self) -> SloClass {
+        self.slo.unwrap_or(SloClass::for_priority(self.priority))
     }
 
     /// Set the admission class.

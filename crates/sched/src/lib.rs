@@ -77,12 +77,13 @@ pub mod job;
 pub mod real;
 pub mod reserve;
 pub mod scheduler;
+pub mod slo;
 
 pub use calendar::CalendarQueue;
 pub use digest::report_digest;
 pub use error::SchedError;
 pub use fabric::SimFabric;
-pub use job::{JobId, JobSpec, JobState, JobWork, Priority, TenantId};
+pub use job::{JobId, JobSpec, JobState, JobWork, Priority, SloClass, TenantId};
 pub use real::RealFabric;
 pub use reserve::{NodeBudgets, Reservation, TenantQuota};
 pub use scheduler::{
@@ -90,6 +91,7 @@ pub use scheduler::{
     ChunkSample, FaultOutcome, FaultSample, JobOutcome, JobScheduler, Probation, QuarantineSample,
     ResizeDrain, ResizeSample, RestoreSample, SchedReport, SchedulerConfig, SpillSample,
 };
+pub use slo::{percentile_of, DegradeLevel, RejectReason, ShedOutcome, SloConfig, SloSample};
 // Re-export the shared IR (and the failure-domain vocabulary) so
 // scheduler users need not depend on `northup` directly.
 pub use northup::fabric::{build_chain, Checkpoint, ChunkChain, ChunkWork, Fabric};

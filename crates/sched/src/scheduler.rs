@@ -61,8 +61,9 @@
 use crate::calendar::{CalendarQueue, Event};
 use crate::error::SchedError;
 use crate::fabric::SimFabric;
-use crate::job::{JobId, JobSpec, JobState, Priority, TenantId};
+use crate::job::{JobId, JobSpec, JobState, Priority, SloClass, TenantId};
 use crate::reserve::{NodeBudgets, Reservation, TenantQuota};
+use crate::slo::{DegradeLevel, RejectReason, ShedOutcome, SloConfig, SloSample, SloState};
 use northup::fabric::{build_chain, ChainStage, ChunkChain, ChunkWork};
 use northup::fault::{FaultKind, FaultPlan, RetryPolicy};
 use northup::{NodeId, Tree, WorkQueues};
@@ -203,6 +204,14 @@ pub struct SchedulerConfig {
     /// [`SchedulerConfig::tenant_quota`]); schedules are unchanged when
     /// off.
     pub quota_fair: bool,
+    /// SLO overload control: a deterministic feedback controller samples
+    /// per-class completion latency on a virtual-time `EV_CONTROL` tick
+    /// and defends the guaranteed class's p99 in escalating tiers —
+    /// backpressure, shedding, brownout degradation, and (optionally)
+    /// budget autoscaling (DESIGN.md §15). `None` (the default)
+    /// schedules no control event and leaves every schedule
+    /// bit-identical to the pre-SLO engine.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -224,6 +233,7 @@ impl Default for SchedulerConfig {
             fault_aware_placement: false,
             charge_spill: false,
             quota_fair: false,
+            slo: None,
         }
     }
 }
@@ -409,6 +419,13 @@ pub struct JobOutcome {
     /// [`SchedulerConfig::charge_spill`] enabled. Zero when the knob is
     /// off or the job was never displaced.
     pub spilled_bytes: u64,
+    /// Why the job was rejected (`None` for every other terminal state):
+    /// the typed split of backpressure vs. shed vs. infeasible that the
+    /// bare rejection count used to hide.
+    pub reject_reason: Option<RejectReason>,
+    /// Deepest [`DegradeLevel`] rank any of this job's admissions
+    /// compiled at (0 = always full fidelity).
+    pub degrade: u8,
 }
 
 impl JobOutcome {
@@ -477,6 +494,18 @@ pub struct SchedReport {
     /// event-engine throughput metric (events/sec) tracked by the bench
     /// harness.
     pub events: u64,
+    /// Every job the SLO controller shed, in shed order (empty without
+    /// [`SchedulerConfig::slo`]).
+    pub shed_log: Vec<ShedOutcome>,
+    /// One observation per control tick: p99s, pressure, tier, brownout
+    /// level, cap, and applied scale (empty without
+    /// [`SchedulerConfig::slo`]).
+    pub slo_log: Vec<SloSample>,
+    /// The controller's capacity-planning answer: the peak projected
+    /// capacity this trace needed to meet the guaranteed-class SLO, in
+    /// percent of the configured budgets (100 = they sufficed; always
+    /// 100 without [`SchedulerConfig::slo`]).
+    pub capacity_needed_pct: u32,
 }
 
 impl SchedReport {
@@ -576,6 +605,38 @@ impl SchedReport {
         pressure
     }
 
+    /// Rejected jobs whose typed reason is `reason`.
+    pub fn rejected_for(&self, reason: RejectReason) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.reject_reason == Some(reason))
+            .count()
+    }
+
+    /// Sorted arrival→finish latencies of completed jobs in `class`.
+    pub fn class_latencies(&self, class: Priority) -> Vec<SimDur> {
+        let mut lats: Vec<SimDur> = self
+            .jobs
+            .iter()
+            .filter(|j| j.priority == class)
+            .filter_map(JobOutcome::latency)
+            .collect();
+        lats.sort_unstable();
+        lats
+    }
+
+    /// 99th-percentile completion latency of `class` (integer-index
+    /// percentile; `SimDur::ZERO` with no completions).
+    pub fn class_p99(&self, class: Priority) -> SimDur {
+        crate::slo::percentile_of(&self.class_latencies(class), 99)
+    }
+
+    /// Jobs that ran at least one admission below full fidelity
+    /// (brownout degradation).
+    pub fn degraded_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.degrade > 0).count()
+    }
+
     /// One-line human summary for drivers and examples.
     pub fn summary(&self) -> String {
         let mut s = format!(
@@ -605,6 +666,15 @@ impl SchedReport {
                 self.restore_log.len(),
             ));
         }
+        if !self.slo_log.is_empty() {
+            s.push_str(&format!(
+                " | slo: {} ticks, {} shed, {} degraded, capacity needed {}%",
+                self.slo_log.len(),
+                self.shed_log.len(),
+                self.degraded_jobs(),
+                self.capacity_needed_pct,
+            ));
+        }
         s
     }
 }
@@ -622,6 +692,10 @@ const EV_ARRIVAL: u8 = 5;
 /// so a restore at time t serves queued work from t onward, not a
 /// same-instant arrival race).
 const EV_PROBE: u8 = 6;
+/// SLO control tick (last at equal time, so the controller observes the
+/// instant's completions and arrivals before it reacts). Scheduled only
+/// with [`SchedulerConfig::slo`]; the handler re-arms the next tick.
+const EV_CONTROL: u8 = 7;
 
 /// Sentinel chain index of a job that currently has no placement.
 const CHAIN_NONE: u32 = u32::MAX;
@@ -689,6 +763,11 @@ struct JobRec {
     /// Staging-ring writeback bytes charged across this job's evictions
     /// (zero without [`SchedulerConfig::charge_spill`]).
     spilled_bytes: u64,
+    /// Typed reason if the job was rejected (arrival backpressure,
+    /// controller shed, or infeasibility).
+    reject_reason: Option<RejectReason>,
+    /// Deepest brownout rank any admission of this job compiled at.
+    degrade: u8,
 }
 
 /// The multi-tenant scheduler. Submit jobs, then [`run`](Self::run) the
@@ -740,6 +819,8 @@ impl JobScheduler {
             backoff_total: SimDur::ZERO,
             reroutes: 0,
             spilled_bytes: 0,
+            reject_reason: None,
+            degrade: 0,
         });
         id
     }
@@ -779,6 +860,14 @@ impl JobScheduler {
         for (i, (at, _)) in self.pending_resizes.iter().enumerate() {
             st.events.push((*at, EV_RESIZE, i as u64, 0));
         }
+        // Seed the first SLO control tick only when the controller is
+        // configured: with `slo: None` no control event ever exists and
+        // the schedule is bit-identical to the pre-SLO engine.
+        if let Some(slo) = &self.cfg.slo {
+            st.slo_base_budgets = self.budgets.snapshot();
+            st.events.push((SimTime::ZERO + slo.tick, EV_CONTROL, 0, 0));
+            st.control_ticks = 1;
+        }
 
         // The dispatch loop pops the global minimum each iteration. The
         // one-slot `inline_next` holds the stage-done event the previous
@@ -816,6 +905,7 @@ impl JobScheduler {
                 EV_QUOTA => self.on_quota(&mut st, TenantId(id as u32), t)?,
                 EV_ARRIVAL => self.on_arrival(&mut st, JobId(id), t)?,
                 EV_PROBE => self.on_probe(&mut st, NodeId(id as usize), t)?,
+                EV_CONTROL => self.on_control(&mut st, t)?,
                 other => return Err(SchedError::UnknownEvent(other)),
             }
         }
@@ -828,16 +918,145 @@ impl JobScheduler {
             return Ok(()); // e.g. cancelled before arrival
         }
         let rec = &self.jobs[id.0 as usize];
-        if !self.budgets.feasible(&rec.spec.reservation) || st.queues.len() >= self.cfg.max_queue {
-            st.hot[id.0 as usize].state = JobState::Rejected;
-            self.jobs[id.0 as usize].finished_at = Some(t);
-            return Ok(());
-        }
         let class = class_index(rec.spec.priority);
+        if let Some(slo) = st.slo.as_mut() {
+            slo.on_arrival(class);
+        }
+        if !self.budgets.feasible(&rec.spec.reservation) {
+            return self.reject_arrival(st, id, t, RejectReason::Infeasible);
+        }
+        if st.queues.len() >= self.cfg.max_queue {
+            return self.reject_arrival(st, id, t, RejectReason::QueueFull);
+        }
+        // Tier-1 backpressure: while the controller's dynamic cap is in
+        // force, best-effort arrivals bounce off their own class queue
+        // before they can poison it.
+        if let Some(cap) = st.slo.as_ref().and_then(|s| s.batch_cap) {
+            if rec.spec.effective_slo() == SloClass::BestEffort
+                && st.queues.class_live(class) >= cap as usize
+            {
+                return self.reject_arrival(st, id, t, RejectReason::QueueFull);
+            }
+        }
         st.queues.push_back(id, class);
         self.admit_pass(st, t)?;
         if self.cfg.preempt && st.hot[id.0 as usize].state == JobState::Queued {
             self.try_preempt(st, id, t);
+        }
+        Ok(())
+    }
+
+    /// Settle an arrival `Rejected` with its typed reason.
+    fn reject_arrival(
+        &mut self,
+        st: &mut RunState,
+        id: JobId,
+        t: SimTime,
+        reason: RejectReason,
+    ) -> Result<(), SchedError> {
+        st.hot[id.0 as usize].state = JobState::Rejected;
+        let rec = &mut self.jobs[id.0 as usize];
+        rec.finished_at = Some(t);
+        rec.reject_reason = Some(reason);
+        Ok(())
+    }
+
+    /// One SLO control tick: sample p99-so-far, decide the tier, apply
+    /// backpressure/shed/degrade/autoscale, and re-arm the next tick
+    /// while the run still has pending events.
+    fn on_control(&mut self, st: &mut RunState, t: SimTime) -> Result<(), SchedError> {
+        // Sheddable backlog: live waiters outside the guaranteed class.
+        let backlog = (st.queues.class_live(1) + st.queues.class_live(2)) as u32;
+        let Some(slo) = st.slo.as_mut() else {
+            return Ok(());
+        };
+        let tick = slo.cfg.tick.max(SimDur::from_micros(1));
+        let decision = slo.tick(t, backlog);
+
+        // Tier 4 — autoscale: grow every un-fenced node's budget to the
+        // projected percentage of its original value. Growth-only, so no
+        // feasibility re-check or eviction is ever needed; fenced nodes
+        // keep their zero budget but their restore target scales, so a
+        // later probation restore honors the new capacity.
+        if decision.scale_pct > st.slo_scale_applied {
+            st.slo_scale_applied = decision.scale_pct;
+            let pct = u64::from(decision.scale_pct);
+            for (n, &base) in st.slo_base_budgets.clone().iter().enumerate() {
+                let scaled = base.saturating_mul(pct) / 100;
+                let node = NodeId(n);
+                if st.quarantined.contains(&node) {
+                    st.pre_fence_budget[node.0] = scaled;
+                } else {
+                    self.budgets.set(node, scaled.max(self.budgets.get(node)));
+                }
+            }
+            st.resize_log.push(ResizeSample {
+                at: t,
+                budgets: self.budgets.snapshot(),
+            });
+        }
+
+        // Tier 2 — shed queued sheddable work, newest first, best-effort
+        // before standard, never the guaranteed class (class 0 is never
+        // scanned and `sheddable()` re-checks the per-job class).
+        if decision.shed > 0 {
+            let mut victims: Vec<JobId> = Vec::new();
+            for want in [SloClass::BestEffort, SloClass::Standard] {
+                for class in [2usize, 1] {
+                    if victims.len() >= decision.shed as usize {
+                        break;
+                    }
+                    let quota = decision.shed as usize - victims.len();
+                    victims.extend(
+                        st.queues
+                            .class_live_rev(class)
+                            .filter(|id| {
+                                let spec = &self.jobs[id.0 as usize].spec;
+                                spec.effective_slo() == want && spec.effective_slo().sheddable()
+                            })
+                            .take(quota),
+                    );
+                }
+            }
+            for id in victims {
+                let tenant = self.jobs[id.0 as usize].spec.tenant;
+                let over_quota =
+                    self.cfg.tenant_quota.is_some() && self.quota_balance(st, tenant, t) < 0.0;
+                let reason = if over_quota {
+                    RejectReason::QuotaExceeded
+                } else {
+                    RejectReason::Shed
+                };
+                st.queues.remove(id);
+                st.hot[id.0 as usize].state = JobState::Rejected;
+                let rec = &mut self.jobs[id.0 as usize];
+                rec.finished_at = Some(t);
+                rec.reject_reason = Some(reason);
+                let outcome = ShedOutcome {
+                    job: id,
+                    at: t,
+                    class: rec.spec.priority,
+                    reason,
+                };
+                if let Some(slo) = st.slo.as_mut() {
+                    slo.record_shed(outcome);
+                }
+            }
+        }
+
+        // A scale-up may admit immediately.
+        if decision.scale_pct > 100 {
+            self.admit_pass(st, t)?;
+        }
+
+        // Re-arm while anything can still happen. When both the calendar
+        // and the inline slot are empty, no future event exists, nothing
+        // can ever complete or arrive again, and the run is about to
+        // end — re-arming then would spin forever.
+        if st.events.peek().is_some() || st.inline_next.is_some() {
+            let ord = st.control_ticks;
+            st.control_ticks += 1;
+            st.events.push((t + tick, EV_CONTROL, ord, 0));
         }
         Ok(())
     }
@@ -882,7 +1101,9 @@ impl JobScheduler {
             {
                 st.queues.remove(id);
                 st.hot[id.0 as usize].state = JobState::Rejected;
-                self.jobs[id.0 as usize].finished_at = Some(t);
+                let rec = &mut self.jobs[id.0 as usize];
+                rec.finished_at = Some(t);
+                rec.reject_reason = Some(RejectReason::Infeasible);
             }
         }
         if self.cfg.resize_drain == ResizeDrain::Preempt {
@@ -1120,7 +1341,9 @@ impl JobScheduler {
             {
                 st.queues.remove(wid);
                 st.hot[wid.0 as usize].state = JobState::Rejected;
-                self.jobs[wid.0 as usize].finished_at = Some(t);
+                let rec = &mut self.jobs[wid.0 as usize];
+                rec.finished_at = Some(t);
+                rec.reject_reason = Some(RejectReason::Infeasible);
             }
         }
         for i in 0..st.hot.len() {
@@ -1305,12 +1528,23 @@ impl JobScheduler {
         };
         let queue = st.wq.shortest_queue(leaf);
         let task = st.wq.enqueue(leaf, queue, name);
-        let work = self.jobs[id.0 as usize].spec.work.chunk_work();
+        // Brownout: while the degradation tier is engaged, non-guaranteed
+        // admissions compile a shrunken chain. Distinct degrade levels
+        // produce distinct work shapes, so the arena interns them as
+        // separate chains — no cross-contamination with full fidelity.
+        let degrade = match &st.slo {
+            Some(s) => s.degrade_for(self.jobs[id.0 as usize].spec.effective_slo()),
+            None => DegradeLevel::None,
+        };
+        let work = degrade
+            .apply(&self.jobs[id.0 as usize].spec.work)
+            .chunk_work();
         let chain = st.chains.intern(&self.tree, leaf, work);
         let chain_len = st.chains.get(chain).stages.len() as u16;
         let rec = &mut self.jobs[id.0 as usize];
         rec.leaf = Some(leaf);
         rec.task = Some(task);
+        rec.degrade = rec.degrade.max(degrade.rank());
         let h = &mut st.hot[id.0 as usize];
         h.chain = chain;
         h.chain_len = chain_len;
@@ -1418,6 +1652,15 @@ impl JobScheduler {
         if let (Some(leaf), Some(task)) = (rec.leaf, rec.task.take()) {
             st.wq.complete(leaf, task);
         }
+        // Feed the SLO sampler: completion latency in virtual time,
+        // arrival-to-done (what the submitter experiences).
+        if state == JobState::Done {
+            let class = class_index(rec.spec.priority);
+            let latency = t - rec.spec.arrival;
+            if let Some(slo) = st.slo.as_mut() {
+                slo.on_completion(class, latency);
+            }
+        }
         st.admission_log.push(AdmissionEvent {
             at: t,
             job: id,
@@ -1467,7 +1710,9 @@ impl JobScheduler {
             // Evicted by a shrink below its own reservation: it can never
             // be re-admitted, so reject rather than queue forever.
             st.hot[id.0 as usize].state = JobState::Rejected;
-            self.jobs[id.0 as usize].finished_at = Some(t);
+            let rec = &mut self.jobs[id.0 as usize];
+            rec.finished_at = Some(t);
+            rec.reject_reason = Some(RejectReason::Infeasible);
         }
         self.admit_pass(st, t)
     }
@@ -1523,6 +1768,20 @@ impl JobScheduler {
         });
         let mut marked = Vec::new();
         for v in cands {
+            // Targeted placement: skip victims whose eviction frees no
+            // byte on any node that is actually blocking this arrival.
+            // The old first-lower-class choice evicted in pure class
+            // order and could displace a job on an uncontended node
+            // while the arrival stayed stuck (and the bystander's
+            // eviction was wasted work).
+            let helps = self.jobs[v.0 as usize]
+                .spec
+                .reservation
+                .iter()
+                .any(|(n, b)| b > 0 && eff[n.0].saturating_add(res.get(n)) > self.budgets.get(n));
+            if !helps {
+                continue;
+            }
             st.hot[v.0 as usize].flags |= F_PREEMPT;
             self.jobs[v.0 as usize].preempt_requested_at = Some(t);
             marked.push(v);
@@ -1533,8 +1792,8 @@ impl JobScheduler {
                 return;
             }
         }
-        // Insufficient even after marking everything eligible: undo, the
-        // job must wait for same-or-higher-priority releases anyway.
+        // Insufficient even after marking everything that helps: undo,
+        // the job must wait for same-or-higher-priority releases anyway.
         for v in marked {
             st.hot[v.0 as usize].flags &= !F_PREEMPT;
             self.jobs[v.0 as usize].preempt_requested_at = None;
@@ -1786,7 +2045,13 @@ impl JobScheduler {
         }
     }
 
-    fn into_report(self, st: RunState) -> SchedReport {
+    fn into_report(self, mut st: RunState) -> SchedReport {
+        // Pull the controller's logs out before `st.hot` is borrowed by
+        // the outcome map below.
+        let (shed_log, slo_log, capacity_needed_pct) = match st.slo.take() {
+            Some(slo) => (slo.sheds, slo.log, slo.needed_pct),
+            None => (Vec::new(), Vec::new(), 100),
+        };
         let jobs: Vec<JobOutcome> = self
             .jobs
             .into_iter()
@@ -1813,6 +2078,8 @@ impl JobScheduler {
                     reroutes: rec.reroutes,
                 },
                 spilled_bytes: rec.spilled_bytes,
+                reject_reason: rec.reject_reason,
+                degrade: rec.degrade,
             })
             .collect();
 
@@ -1862,6 +2129,9 @@ impl JobScheduler {
             quarantine_log: st.quarantine_log,
             restore_log: st.restore_log,
             spill_log: st.spill_log,
+            shed_log,
+            slo_log,
+            capacity_needed_pct,
             events: st.events_processed,
             jobs,
         }
@@ -1890,8 +2160,13 @@ struct JobQueues {
     fifo: VecDeque<(JobId, u64)>,
     /// `slot[job]` = seq of the job's live entries, [`NOT_QUEUED`] if none.
     slot: Vec<u64>,
+    /// `cls[job]` = class of the job's live entries (valid only while
+    /// queued; lets `remove` keep the per-class counts without a lookup).
+    cls: Vec<u8>,
     next_seq: u64,
     waiting: usize,
+    /// Live waiters per class (the controller's backpressure counts).
+    live: [usize; 3],
 }
 
 impl JobQueues {
@@ -1900,8 +2175,10 @@ impl JobQueues {
             class: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             fifo: VecDeque::new(),
             slot: vec![NOT_QUEUED; jobs],
+            cls: vec![0; jobs],
             next_seq: 0,
             waiting: 0,
+            live: [0; 3],
         }
     }
 
@@ -1910,24 +2187,31 @@ impl JobQueues {
         self.waiting
     }
 
-    fn enqueue_seq(&mut self, id: JobId) -> u64 {
+    /// Live waiters in class `c`.
+    fn class_live(&self, c: usize) -> usize {
+        self.live[c]
+    }
+
+    fn enqueue_seq(&mut self, id: JobId, class: usize) -> u64 {
         debug_assert_eq!(self.slot[id.0 as usize], NOT_QUEUED, "job double-queued");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.slot[id.0 as usize] = seq;
+        self.cls[id.0 as usize] = class as u8;
         self.waiting += 1;
+        self.live[class] += 1;
         seq
     }
 
     fn push_back(&mut self, id: JobId, class: usize) {
-        let seq = self.enqueue_seq(id);
+        let seq = self.enqueue_seq(id, class);
         self.class[class].push_back((id, seq));
         self.fifo.push_back((id, seq));
     }
 
     /// Front-of-class requeue (evicted jobs keep their seniority).
     fn push_front(&mut self, id: JobId, class: usize) {
-        let seq = self.enqueue_seq(id);
+        let seq = self.enqueue_seq(id, class);
         self.class[class].push_front((id, seq));
         self.fifo.push_front((id, seq));
     }
@@ -1937,7 +2221,18 @@ impl JobQueues {
         if self.slot[id.0 as usize] != NOT_QUEUED {
             self.slot[id.0 as usize] = NOT_QUEUED;
             self.waiting -= 1;
+            self.live[usize::from(self.cls[id.0 as usize])] -= 1;
         }
+    }
+
+    /// Live jobs of class `c`, newest first (the shed victim order:
+    /// the most recent arrival has the least sunk queueing investment).
+    fn class_live_rev(&self, c: usize) -> impl Iterator<Item = JobId> + '_ {
+        self.class[c]
+            .iter()
+            .rev()
+            .filter(|&&(id, seq)| self.slot[id.0 as usize] == seq)
+            .map(|&(id, _)| id)
     }
 
     /// Prune stale entries, then peek the head of class `c`.
@@ -2065,6 +2360,17 @@ struct RunState {
     pre_fence_budget: Vec<u64>,
     restore_log: Vec<RestoreSample>,
     spill_log: Vec<SpillSample>,
+    /// SLO feedback-controller state, `Some` only when
+    /// [`SchedulerConfig::slo`] is configured.
+    slo: Option<SloState>,
+    /// Control ticks scheduled so far (the `EV_CONTROL` event id, so
+    /// tick events are unique and ordered in the calendar).
+    control_ticks: u64,
+    /// Budgets at run start — the 100% reference the autoscale tier
+    /// scales from (empty when no controller is configured).
+    slo_base_budgets: Vec<u64>,
+    /// Capacity scale currently applied by the autoscale tier, percent.
+    slo_scale_applied: u32,
     /// Events the run loop processed (the events/sec numerator).
     events_processed: u64,
 }
@@ -2117,6 +2423,10 @@ impl RunState {
             pre_fence_budget: vec![0; tree.len()],
             restore_log: Vec::new(),
             spill_log: Vec::new(),
+            slo: cfg.slo.clone().map(SloState::new),
+            control_ticks: 0,
+            slo_base_budgets: Vec::new(),
+            slo_scale_applied: 100,
             events_processed: 0,
         }
     }
@@ -2525,6 +2835,117 @@ mod tests {
             .collect();
         assert!(!after_shrink.is_empty());
         assert!(after_shrink.iter().all(|s| s.committed <= new_budget));
+    }
+
+    #[test]
+    fn preemption_targets_victims_on_the_blocking_nodes() {
+        // Two Batch victims on *different* nodes: `bystander` holds root
+        // storage bytes, `blocker` holds the DRAM bytes the Interactive
+        // arrival needs. The old first-lower-class choice marked in pure
+        // (class, recency) order — `bystander`, admitted most recently,
+        // was displaced first even though evicting it frees nothing the
+        // arrival can use. Targeted preemption skips it.
+        let tree = tree();
+        let root = tree.root();
+        let dram = tree.children(root)[0];
+        let root_bytes = (tree.node(root).mem.capacity as f64 * 0.6) as u64;
+        let dram_bytes = (tree.node(dram).mem.capacity as f64 * 0.6) as u64;
+        let mut sched = JobScheduler::new(
+            tree.clone(),
+            SchedulerConfig {
+                preempt: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        // The right victim: chunky, on DRAM, admitted at t=0.
+        let blocker = sched.submit(
+            JobSpec::new(
+                "blocker",
+                Reservation::new().with(dram, dram_bytes),
+                JobWork::new(8)
+                    .read(32 << 20)
+                    .xfer(32 << 20)
+                    .compute(SimDur::from_millis(2)),
+            )
+            .priority(Priority::Batch),
+        );
+        // The wrong victim: compute-only quick chunks (no root-storage
+        // contention) holding a *root* reservation, admitted after
+        // `blocker` (so the recency-ordered scan visits it first) and
+        // hitting chunk boundaries long before `blocker` does (so a
+        // spurious mark would actually evict it — the unfiltered scan
+        // measurably did, preemptions = 1).
+        let bystander = sched.submit(
+            JobSpec::new(
+                "bystander",
+                Reservation::new().with(root, root_bytes),
+                JobWork::new(64).compute(SimDur::from_micros(100)),
+            )
+            .priority(Priority::Batch)
+            .arrival(SimTime::from_secs_f64(0.001)),
+        );
+        let hi = sched.submit(
+            JobSpec::new(
+                "interactive",
+                Reservation::new().with(dram, dram_bytes),
+                JobWork::new(2)
+                    .read(8 << 20)
+                    .xfer(8 << 20)
+                    .compute(SimDur::from_millis(1)),
+            )
+            .priority(Priority::Interactive)
+            .arrival(SimTime::from_secs_f64(0.004)),
+        );
+        let report = sched.run().unwrap();
+        assert!(report.all_terminal());
+        assert_eq!(report.job(hi).state, JobState::Done);
+        assert!(
+            report.job(blocker).preemptions >= 1,
+            "the DRAM holder must be displaced for the Interactive arrival"
+        );
+        assert_eq!(
+            report.job(bystander).preemptions,
+            0,
+            "evicting the root-node job frees nothing the arrival needs"
+        );
+        assert_eq!(report.job(bystander).state, JobState::Done);
+        assert_eq!(report.job(blocker).state, JobState::Done);
+    }
+
+    #[test]
+    fn idle_slo_controller_never_perturbs_the_schedule() {
+        // A controller whose targets are never breached observes but
+        // must not act: the schedule is identical to a controller-free
+        // run (the control tick only reads completions).
+        let tree = tree();
+        let build = |slo: Option<SloConfig>| {
+            let mut s = JobScheduler::new(
+                tree.clone(),
+                SchedulerConfig {
+                    slo,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for i in 0..8 {
+                s.submit(
+                    small_job(&format!("j{i}"), &tree, 0.3, 3)
+                        .priority(Priority::ALL[i % 3])
+                        .arrival(SimTime::from_secs_f64(0.002 * i as f64)),
+                );
+            }
+            s.run().unwrap()
+        };
+        let off = build(None);
+        let on = build(Some(
+            SloConfig::default().interactive_target(SimDur::from_secs_f64(3600.0)),
+        ));
+        assert_eq!(off.admission_order, on.admission_order);
+        assert_eq!(off.makespan, on.makespan);
+        assert_eq!(off.capacity_trace, on.capacity_trace);
+        assert!(on.slo_log.iter().all(|s| s.tier == 0 && s.shed_now == 0));
+        assert!(on.shed_log.is_empty());
+        assert_eq!(on.capacity_needed_pct, 100);
+        assert!(off.slo_log.is_empty(), "no controller, no samples");
     }
 
     /// A chunky job with no reservation (always admissible) — fault
